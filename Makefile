@@ -1,0 +1,25 @@
+# Convenience targets for the IFTTT reproduction.
+
+.PHONY: install test bench bench-verbose examples figures clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-verbose:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo OK; done
+
+figures:
+	python -m repro export-figures --output figures/
+
+clean:
+	rm -rf figures/ .pytest_cache/ src/repro.egg-info/
+	find . -name __pycache__ -type d -exec rm -rf {} +

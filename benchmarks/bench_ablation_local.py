@@ -1,0 +1,108 @@
+"""§6 ablation: distributed (local) applet execution.
+
+The paper proposes running eligible applets on a local engine (a phone or
+tablet in the home) instead of the centralized cloud engine.  This bench
+compares A2 (WeMo -> Hue, fully local-capable) under both placements:
+T2A latency and WAN traffic per execution.
+"""
+
+from repro.engine import ActionRef, Applet, HybridScheduler, TriggerRef
+from repro.reporting import render_table, summarize_latencies
+from repro.testbed import Testbed, TestbedConfig, TestController
+from repro.testbed.applets import applet_spec
+
+
+def measure_cloud(runs=10, seed=19):
+    testbed = Testbed(TestbedConfig(seed=seed)).build()
+    controller = TestController(testbed)
+    uplink = testbed.network.link_between(testbed.gateway.address, testbed.internet.address)
+    start_wan = uplink.messages_forwarded
+    start_engine = testbed.engine.polls_sent + testbed.engine.actions_dispatched
+    latencies = controller.measure_t2a("A2", runs=runs, spacing=90.0)
+    wan_per_run = (uplink.messages_forwarded - start_wan) / runs
+    engine_per_run = (
+        testbed.engine.polls_sent + testbed.engine.actions_dispatched - start_engine
+    ) / runs
+    return latencies, wan_per_run, engine_per_run
+
+
+def measure_local(runs=10, seed=19):
+    testbed = Testbed(TestbedConfig(seed=seed, with_local_engine=True)).build()
+    local = testbed.local_engine
+    local.bridge_hue_hub(testbed.hue_hub.address)
+    local.bridge_wemo(testbed.wemo.address)
+    testbed.run_for(2.0)
+    applet = Applet(
+        applet_id=900001, name="A2 local", user="tester",
+        trigger=TriggerRef("wemo", "switch_activated", {"device_id": "wemo1"}),
+        action=ActionRef("philips_hue", "turn_on_lights", {"lamp_id": "lamp1"}),
+    )
+
+    def matcher(event):
+        if event.get("device_id") == "wemo1" and event.get("state", {}).get("on") is True:
+            return {}
+        return None
+
+    local.install_local_applet(applet, matcher, local.hue_command("lamp1"))
+    uplink = testbed.network.link_between(testbed.gateway.address, testbed.internet.address)
+    start_wan = uplink.messages_forwarded
+    start_engine = testbed.engine.polls_sent + testbed.engine.actions_dispatched
+    spec = applet_spec("A2")
+    latencies = []
+    for _ in range(runs):
+        spec.reset(testbed)
+        testbed.run_for(10.0)
+        t0 = testbed.sim.now
+        spec.activate(testbed)
+        testbed.run_for(5.0)
+        observed = spec.observe(testbed, t0)
+        if observed is not None:
+            latencies.append(observed - t0)
+    wan_per_run = (uplink.messages_forwarded - start_wan) / runs
+    engine_per_run = (
+        testbed.engine.polls_sent + testbed.engine.actions_dispatched - start_engine
+    ) / runs
+    return latencies, wan_per_run, engine_per_run
+
+
+def run_ablation():
+    return {"cloud": measure_cloud(), "local": measure_local()}
+
+
+def test_bench_ablation_local(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    print("\n§6 ablation — centralized vs local execution of A2")
+    rows = []
+    for name, (latencies, wan_per_run, engine_per_run) in results.items():
+        stats = summarize_latencies(latencies)
+        rows.append([name, round(stats["p50"], 3), round(stats["max"], 2),
+                     round(wan_per_run, 1), round(engine_per_run, 1)])
+    print(render_table(
+        ["placement", "median T2A (s)", "max T2A (s)", "WAN msgs/run", "engine msgs/run"],
+        rows,
+    ))
+    print("(residual WAN traffic under local placement is vendor-cloud "
+          "telemetry — device events still reach the official services)")
+
+    scheduler = HybridScheduler({
+        ("wemo", "switch_activated"), ("philips_hue", "turn_on_lights"),
+    })
+    a2_trigger, a2_action = applet_spec("A2").refs()
+    a2 = Applet(applet_id=1, name="A2", user="t", trigger=a2_trigger, action=a2_action)
+    a3_trigger, a3_action = applet_spec("A3").refs()
+    a3 = Applet(applet_id=2, name="A3", user="t", trigger=a3_trigger, action=a3_action)
+    print(f"hybrid scheduler placement: A2 -> {scheduler.placement(a2)}, "
+          f"A3 -> {scheduler.placement(a3)} (gmail trigger cannot run locally)")
+
+    cloud_median = summarize_latencies(results["cloud"][0])["p50"]
+    local_median = summarize_latencies(results["local"][0])["p50"]
+    assert local_median < 0.2            # LAN-only execution
+    assert cloud_median / local_median > 100
+    # the centralized engine's load vanishes for locally-placed applets
+    # (this is §6's scalability argument)
+    assert results["local"][2] == 0.0
+    assert results["cloud"][2] > 1.0
+    assert results["local"][1] <= results["cloud"][1]  # WAN traffic no worse
+    assert scheduler.placement(a2) == "local"
+    assert scheduler.placement(a3) == "cloud"

@@ -1,0 +1,31 @@
+"""Figure 2: heat map of interactions between service categories.
+
+Paper: IoT triggers pair mostly with action categories 1, 5, 9; IoT
+actions with trigger categories 1, 7, 9, 12; social-network sync (10,10)
+is the dominant non-IoT cell.  The bench regenerates the 14×14 add-count
+matrix and prints a log-shaded ASCII rendering.
+"""
+
+from repro.analysis import interaction_heatmap
+from repro.analysis.heatmap import col_sums, render_ascii, row_sums
+
+
+def test_bench_fig2(benchmark, bench_snapshot):
+    matrix = benchmark(interaction_heatmap, bench_snapshot)
+
+    print("\nFigure 2 — Trigger-category x action-category heat map (reproduced)")
+    print(render_ascii(matrix))
+
+    total = sum(row_sums(matrix))
+    # Social sync is a hot cell.
+    assert matrix[9][9] > 0.03 * total
+    # IoT trigger rows flow into action categories 1, 5, 9.
+    iot_trigger_mass = sum(row_sums(matrix)[i] for i in range(4))
+    iot_to_159 = sum(matrix[i][j] for i in range(4) for j in (0, 4, 8))
+    assert iot_to_159 > 0.5 * iot_trigger_mass
+    # IoT action columns are fed by trigger categories 1, 7, 9, 12.
+    iot_action_mass = sum(col_sums(matrix)[j] for j in range(4))
+    into_iot = sum(matrix[i][j] for i in (0, 6, 8, 11) for j in range(4))
+    assert into_iot > 0.5 * iot_action_mass
+    # Time/location exposes no actions: column 12 empty.
+    assert col_sums(matrix)[11] == 0

@@ -1,0 +1,36 @@
+"""Figure 5: T2A latency for A2 under scenarios E1/E2 vs E3.
+
+Paper: E1 (our trigger service) and E2 (our trigger+action services)
+"exhibit similar performance", while E3 (our engine polling every 1 s)
+"dramatically reduces the T2A latency" — localizing the bottleneck to the
+IFTTT engine itself.  20 runs per scenario, as in the paper.
+"""
+
+from repro.reporting import summarize_latencies
+from repro.testbed.scenarios import run_scenario_t2a
+
+
+def run_experiment():
+    return {
+        name: run_scenario_t2a(name, runs=20, seed=11,
+                               spacing=120.0 if name != "E3" else 20.0)
+        for name in ("E1", "E2", "E3")
+    }
+
+
+def test_bench_fig5(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    print("\nFigure 5 — T2A latency for A2 under E1/E2/E3 (reproduced)")
+    for name in ("E1", "E2", "E3"):
+        stats = summarize_latencies(results[name])
+        print(f"{name}: p25={stats['p25']:.2f}s p50={stats['p50']:.2f}s "
+              f"p75={stats['p75']:.2f}s max={stats['max']:.2f}s")
+    print("paper: E1 ~ E2 (minutes, poll-bound); E3 ~ 1-2 s")
+
+    median = lambda xs: sorted(xs)[len(xs) // 2]
+    e1, e2, e3 = (median(results[n]) for n in ("E1", "E2", "E3"))
+    assert 0.3 < e1 / e2 < 3.0     # E1 and E2 similar
+    assert e3 < 5.0                 # E3 in seconds
+    assert e1 / e3 > 10             # the engine is the bottleneck
+    assert e2 / e3 > 10

@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Unlike the table/figure benches (single-shot experiment reproductions),
+these use pytest-benchmark's repeated timing to track the kernel's raw
+performance: event throughput, network message delivery, and the cost of
+one engine poll cycle.  They guard against performance regressions that
+would make the larger experiments slow.
+"""
+
+from repro.engine import ActionRef, EngineConfig, FixedPollingPolicy, IftttEngine, TriggerRef
+from repro.engine.oauth import OAuthAuthority
+from repro.net import Address, FixedLatency, HttpNode, Network, Node
+from repro.services import ActionEndpoint, PartnerService, TriggerEndpoint
+from repro.simcore import Rng, Simulator
+
+
+def test_bench_event_throughput(benchmark):
+    """Schedule-and-fire throughput of the bare event heap."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(float(i % 100), lambda: None)
+        sim.run()
+        return sim.fired_count
+
+    fired = benchmark(run)
+    assert fired == 10_000
+
+
+def test_bench_network_delivery(benchmark):
+    """End-to-end message delivery over a 3-hop path."""
+
+    def run():
+        sim = Simulator()
+        net = Network(sim, Rng(1))
+        nodes = [net.add_node(Node(Address(f"n{i}.test"))) for i in range(4)]
+        for a, b in zip(nodes, nodes[1:]):
+            net.connect(a.address, b.address, FixedLatency(0.001))
+        for _ in range(1_000):
+            nodes[0].send(nodes[3].address, "test", {})
+        sim.run()
+        return net.messages_delivered
+
+    delivered = benchmark(run)
+    assert delivered == 1_000
+
+
+def test_bench_http_round_trips(benchmark):
+    """Request/response pairs through the HTTP layer."""
+
+    def run():
+        sim = Simulator()
+        net = Network(sim, Rng(2))
+        client = net.add_node(HttpNode(Address("c.test")))
+        server = net.add_node(HttpNode(Address("s.test")))
+        net.connect(client.address, server.address, FixedLatency(0.001))
+        server.add_route("POST", "/x", lambda req: {"ok": True})
+        done = []
+        for _ in range(500):
+            client.post(server.address, "/x", on_response=done.append)
+        sim.run()
+        return len(done)
+
+    completed = benchmark(run)
+    assert completed == 500
+
+
+def test_bench_engine_poll_cycle(benchmark):
+    """Full poll->dedupe->action cycles of the engine."""
+
+    def build():
+        sim = Simulator()
+        net = Network(sim, Rng(3))
+        engine = net.add_node(IftttEngine(
+            Address("e.cloud"),
+            config=EngineConfig(poll_policy=FixedPollingPolicy(1.0), initial_poll_delay=0.1),
+            rng=Rng(4), service_time=0.0,
+        ))
+        service = net.add_node(PartnerService(Address("s.cloud"), slug="s", service_time=0.0))
+        net.connect(engine.address, service.address, FixedLatency(0.001))
+        service.add_trigger(TriggerEndpoint(slug="t", name="T"))
+        hits = []
+        service.add_action(ActionEndpoint(slug="a", name="A", executor=hits.append))
+        engine.publish_service(service)
+        authority = OAuthAuthority("s")
+        authority.register_user("u", "pw")
+        engine.connect_service("u", service, authority, "pw")
+        engine.install_applet(user="u", name="p",
+                              trigger=TriggerRef("s", "t"), action=ActionRef("s", "a"))
+        return sim, service, hits
+
+    def run():
+        sim, service, hits = build()
+        sim.run_until(1.0)
+        for n in range(200):
+            service.ingest_event("t", {"n": n})
+            sim.run_until(sim.now + 1.0)
+        return len(hits)
+
+    executed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert executed == 200

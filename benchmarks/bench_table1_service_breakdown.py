@@ -1,0 +1,34 @@
+"""Table 1: breakdown of IFTTT partner services.
+
+Paper row format: category | % services | trigger AC % | action AC %.
+Reproduction: keyword-classify the crawled services, aggregate applet add
+counts onto trigger/action categories, print the same 14 rows, and check
+the headline claims (51.7% IoT services; IoT shares small on both sides).
+"""
+
+from repro.analysis import table1
+from repro.ecosystem.categories import CATEGORIES
+from repro.reporting import render_table
+
+
+def test_bench_table1(benchmark, bench_snapshot):
+    rows = benchmark(table1, bench_snapshot)
+
+    print("\nTable 1 — Breakdown of IFTTT partner services (reproduced)")
+    print(render_table(
+        ["#", "Category", "%Services", "Trigger AC%", "Action AC%",
+         "paper %Svc", "paper T%", "paper A%"],
+        [
+            [row.category_index, row.category_name[:40], row.pct_services,
+             row.trigger_ac_pct, row.action_ac_pct,
+             cat.pct_services, cat.trigger_ac_pct, cat.action_ac_pct]
+            for row, cat in zip(rows, CATEGORIES)
+        ],
+    ))
+
+    iot_services = sum(r.pct_services for r in rows if r.category_index <= 4)
+    assert abs(iot_services - 51.7) < 3.0  # "More than half of services are IoT"
+    for row, cat in zip(rows, CATEGORIES):
+        assert abs(row.pct_services - cat.pct_services) < 3.0
+        assert abs(row.trigger_ac_pct - cat.trigger_ac_pct) < 5.0
+        assert abs(row.action_ac_pct - cat.action_ac_pct) < 5.0

@@ -1,0 +1,44 @@
+"""Table 3: top trigger services, action services, triggers, and actions
+involving IoT.
+
+Paper: Alexa is the top IoT trigger service (1.2M adds) with "Say a
+phrase" the top trigger; Philips Hue is the top action service (1.2M)
+with "Turn on lights" the top action, followed by LIFX / Nest / Harmony.
+"""
+
+from repro.analysis import table3
+from repro.reporting import render_table
+
+
+def test_bench_table3(benchmark, bench_snapshot):
+    result = benchmark(table3, bench_snapshot)
+
+    print("\nTable 3 — Top IoT entities by add count (reproduced)")
+    print(render_table(
+        ["Top trigger services", "adds"],
+        [[name, count] for name, count in result.top_trigger_services],
+    ))
+    print(render_table(
+        ["Top action services", "adds"],
+        [[name, count] for name, count in result.top_action_services],
+    ))
+    print(render_table(
+        ["Top triggers", "service", "adds"],
+        [list(entry) for entry in result.top_triggers],
+    ))
+    print(render_table(
+        ["Top actions", "service", "adds"],
+        [list(entry) for entry in result.top_actions],
+    ))
+
+    assert result.top_trigger_services[0][0] == "Amazon Alexa"
+    assert result.top_action_services[0][0] == "Philips Hue"
+    assert result.top_triggers[0][0] == "Say a phrase"
+    trigger_service_names = [name for name, _ in result.top_trigger_services]
+    assert "Fitbit" in trigger_service_names  # paper's #3
+    action_service_names = [name for name, _ in result.top_action_services]
+    # the paper's runner-up action services populate the list (sampling
+    # noise can reorder the sub-1M tail, so membership is the claim)
+    assert {"LIFX", "Nest Thermostat", "Harmony Hub"} & set(action_service_names)
+    # Alexa dominance factor vs the #2 trigger service (paper: 1.2M vs 0.2M)
+    assert result.top_trigger_services[0][1] > 3 * result.top_trigger_services[1][1]

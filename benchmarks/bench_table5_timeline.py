@@ -1,0 +1,29 @@
+"""Table 5: the execution timeline of applet A2 under scenario E2.
+
+Paper timeline: trigger at t=0; proxy observes at 0.04; service confirms
+by 0.16; the engine's poll arrives at 81.1; action request 82.1; proxy
+relays at 83.0; device confirmed at 83.8.  The reproduction asserts the
+same structure: sub-second proxy/service path, a poll-dominated wait, and
+a sub-3-second poll-to-device completion.
+"""
+
+from repro.testbed import capture_timeline
+from repro.testbed.timeline import format_timeline
+
+
+def test_bench_table5(benchmark):
+    entries = benchmark.pedantic(capture_timeline, kwargs={"seed": 21}, rounds=1, iterations=1)
+
+    print("\nTable 5 — Applet A2 execution timeline under E2 (reproduced)")
+    print(format_timeline(entries))
+
+    times = {entry.event: entry.t for entry in entries}
+    proxy_observed = next(t for event, t in times.items() if "observes the trigger" in event)
+    confirmed = next(t for event, t in times.items() if "confirmation" in event)
+    polled = next(t for event, t in times.items() if "polls trigger service" in event)
+    done = entries[-1].t
+
+    assert proxy_observed < 0.5          # paper: 0.04 s
+    assert confirmed < 1.0               # paper: 0.16 s
+    assert polled > 10.0                 # paper: 81.1 s — the dominant wait
+    assert done - polled < 3.0           # paper: 83.8 - 81.1 = 2.7 s

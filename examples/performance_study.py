@@ -1,0 +1,47 @@
+"""Rerun the paper's §4 performance experiments.
+
+Measures trigger-to-action latency for applet A2 under the production
+engine and under E3's 1-second poller, captures a Table 5 execution
+timeline, and demonstrates the sequential-clustering effect of Figure 6.
+
+Run: ``python examples/performance_study.py``
+"""
+
+from repro.reporting import summarize_latencies
+from repro.simcore.rng import quantiles
+from repro.testbed import Testbed, TestbedConfig, TestController
+from repro.testbed.scenarios import run_scenario_t2a
+from repro.testbed.sequential import run_sequential_experiment
+from repro.testbed.timeline import capture_timeline, format_timeline
+
+
+def main() -> None:
+    print("A2 on official services, production engine (20 runs)...")
+    testbed = Testbed(TestbedConfig(seed=99)).build()
+    controller = TestController(testbed)
+    official = controller.measure_t2a("A2", runs=20, spacing=150.0)
+    stats = summarize_latencies(official)
+    print(f"  p25/p50/p75 = {stats['p25']:.0f}/{stats['p50']:.0f}/{stats['p75']:.0f} s, "
+          f"max {stats['max']:.0f} s   (paper: 58/84/122 s, max ~15 min)")
+
+    print("\nA2 under E3 (our engine, 1 s polls, 10 runs)...")
+    e3 = run_scenario_t2a("E3", runs=10, seed=99, spacing=20.0)
+    print(f"  median = {quantiles(e3, (0.5,))[0]:.2f} s   (paper: ~1-2 s)")
+    print("  -> the performance bottleneck is the IFTTT engine itself")
+
+    print("\nTable 5 — one A2 execution under E2:")
+    print(format_timeline(capture_timeline(seed=5)))
+
+    print("\nFigure 6 — trigger every 5 s, 30 times (A4):")
+    sequential = run_sequential_experiment(applet_key="A4", triggers=30, interval=5.0, seed=7)
+    for index, cluster in enumerate(sequential.clusters, 1):
+        print(f"  cluster {index}: {len(cluster)} actions at t={cluster[0]:.0f}s")
+    print("  -> actions arrive in clusters: each poll returns up to k=50 "
+          "buffered trigger events")
+
+    assert stats["p50"] > 10 * quantiles(e3, (0.5,))[0]
+    print("\nperformance study OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — a full reproduction of the IMC '17 IFTTT characterization.
+
+This library rebuilds, as a deterministic simulation, every system used by
+*"An Empirical Characterization of IFTTT: Ecosystem, Usage, and
+Performance"* (Mi, Qian, Zhang, Wang — IMC 2017):
+
+* the IFTTT trigger-action engine and its partner-service HTTP protocol
+  (:mod:`repro.engine`, :mod:`repro.services`),
+* the paper's measurement testbed — smart-home devices, home LAN, local
+  proxy, web applications, test controller (:mod:`repro.iot`,
+  :mod:`repro.webapps`, :mod:`repro.testbed`),
+* the six-month ecosystem crawl — a calibrated synthetic corpus, a
+  simulated ifttt.com frontend, and the crawler/analysis pipeline
+  (:mod:`repro.ecosystem`, :mod:`repro.frontend`, :mod:`repro.crawler`,
+  :mod:`repro.analysis`).
+
+See ``DESIGN.md`` for the system inventory and the per-experiment index,
+and ``EXPERIMENTS.md`` for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

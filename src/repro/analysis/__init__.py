@@ -1,0 +1,58 @@
+"""The §3.2 analyses over crawled snapshots.
+
+Everything here consumes :class:`~repro.crawler.snapshot.CrawlSnapshot`
+objects (what the crawler scraped), not the generator's ground truth —
+the same separation the paper had between collection and analysis.
+
+* :mod:`repro.analysis.classify` — keyword service classification into
+  the 14 Table 1 categories (standing in for the authors' manual pass).
+* :mod:`repro.analysis.tables` — Tables 1, 2, and 3.
+* :mod:`repro.analysis.heatmap` — Figure 2's interaction matrix.
+* :mod:`repro.analysis.distributions` — Figure 3's add-count tail and
+  the user-contribution tail.
+* :mod:`repro.analysis.usercontrib` — user channels vs services (§3.2
+  "Applet Properties").
+* :mod:`repro.analysis.growthstats` — the weekly growth paragraph.
+"""
+
+from repro.analysis.classify import ServiceClassifier
+from repro.analysis.tables import table1, table2, table3, UR_ET_AL_DATASET
+from repro.analysis.heatmap import interaction_heatmap, heatmap_intensity
+from repro.analysis.distributions import (
+    ranked_add_counts,
+    add_count_top_shares,
+    log_rank_series,
+)
+from repro.analysis.usercontrib import user_contribution_stats, UserContribution
+from repro.analysis.growthstats import growth_percentages, weekly_series
+from repro.analysis.iotstats import iot_shares, IotShares
+from repro.analysis.churn import churn_between, weekly_churn, ChurnReport
+from repro.analysis.permissions_study import run_permission_study, PermissionStudyResult
+from repro.analysis.history import fit_exponential, GrowthFit, STUDY_POINTS
+
+__all__ = [
+    "ServiceClassifier",
+    "table1",
+    "table2",
+    "table3",
+    "UR_ET_AL_DATASET",
+    "interaction_heatmap",
+    "heatmap_intensity",
+    "ranked_add_counts",
+    "add_count_top_shares",
+    "log_rank_series",
+    "user_contribution_stats",
+    "UserContribution",
+    "growth_percentages",
+    "weekly_series",
+    "iot_shares",
+    "IotShares",
+    "churn_between",
+    "weekly_churn",
+    "ChurnReport",
+    "run_permission_study",
+    "PermissionStudyResult",
+    "fit_exponential",
+    "GrowthFit",
+    "STUDY_POINTS",
+]

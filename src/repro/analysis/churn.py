@@ -1,0 +1,83 @@
+"""Cross-snapshot churn: what changed between two crawls.
+
+The paper reports aggregate growth; with 25 weekly snapshots the natural
+next question (and an easy win of the longitudinal dataset) is *churn* —
+which services/endpoints/applets appeared or disappeared week over week,
+and where the new add count accrued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.crawler.snapshot import CrawlSnapshot
+from repro.crawler.store import SnapshotStore
+
+
+@dataclass
+class ChurnReport:
+    """Differences between an earlier and a later snapshot."""
+
+    earlier_week: int
+    later_week: int
+    services_added: List[str]
+    services_removed: List[str]
+    triggers_added: int
+    actions_added: int
+    applets_added: List[int]
+    applets_removed: List[int]
+    add_count_delta: int
+    top_gainers: List[Tuple[int, str, int]]  # (applet_id, name, gained adds)
+
+    @property
+    def applet_birth_rate(self) -> float:
+        """New applets per week between the snapshots."""
+        weeks = max(1, self.later_week - self.earlier_week)
+        return len(self.applets_added) / weeks
+
+
+def churn_between(earlier: CrawlSnapshot, later: CrawlSnapshot, top_k: int = 10) -> ChurnReport:
+    """Compute the churn report between two snapshots of one campaign."""
+    if earlier.week >= later.week:
+        raise ValueError(
+            f"need earlier.week < later.week, got {earlier.week} >= {later.week}"
+        )
+    early_services = set(earlier.services)
+    late_services = set(later.services)
+
+    def endpoint_count(snapshot: CrawlSnapshot, kind: str) -> int:
+        return sum(
+            len(getattr(s, kind)) for s in snapshot.services.values()
+        )
+
+    early_applets = set(earlier.applets)
+    late_applets = set(later.applets)
+    gains: List[Tuple[int, str, int]] = []
+    for applet_id in early_applets & late_applets:
+        gained = later.applets[applet_id].add_count - earlier.applets[applet_id].add_count
+        if gained > 0:
+            gains.append((applet_id, later.applets[applet_id].name, gained))
+    gains.sort(key=lambda entry: entry[2], reverse=True)
+
+    return ChurnReport(
+        earlier_week=earlier.week,
+        later_week=later.week,
+        services_added=sorted(late_services - early_services),
+        services_removed=sorted(early_services - late_services),
+        triggers_added=endpoint_count(later, "triggers") - endpoint_count(earlier, "triggers"),
+        actions_added=endpoint_count(later, "actions") - endpoint_count(earlier, "actions"),
+        applets_added=sorted(late_applets - early_applets),
+        applets_removed=sorted(early_applets - late_applets),
+        add_count_delta=later.summary()["add_count"] - earlier.summary()["add_count"],
+        top_gainers=gains[:top_k],
+    )
+
+
+def weekly_churn(store: SnapshotStore, top_k: int = 5) -> List[ChurnReport]:
+    """Churn reports between each pair of consecutive archived snapshots."""
+    weeks = store.weeks()
+    return [
+        churn_between(store.get(a), store.get(b), top_k=top_k)
+        for a, b in zip(weeks, weeks[1:])
+    ]

@@ -1,0 +1,46 @@
+"""Figure 3: the applet add-count distribution."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.crawler.snapshot import CrawlSnapshot
+from repro.ecosystem.popularity import top_share
+
+
+def ranked_add_counts(snapshot: CrawlSnapshot) -> List[int]:
+    """Add counts sorted descending (Figure 3's Y values by rank)."""
+    return sorted((a.add_count for a in snapshot.applets.values()), reverse=True)
+
+
+def add_count_top_shares(
+    snapshot: CrawlSnapshot, fractions: Tuple[float, ...] = (0.01, 0.10)
+) -> Dict[float, float]:
+    """The paper's headline tail statistics (top 1% → 84.1%, top 10% → 97.6%)."""
+    counts = [a.add_count for a in snapshot.applets.values()]
+    return {fraction: top_share(counts, fraction) for fraction in fractions}
+
+
+def log_rank_series(
+    snapshot: CrawlSnapshot, points_per_decade: int = 10
+) -> List[Tuple[int, int]]:
+    """(rank, add_count) samples at log-spaced ranks — Figure 3's curve.
+
+    Log-spaced sampling keeps the series small regardless of corpus size
+    while preserving the visual shape on log-log axes.
+    """
+    ranked = ranked_add_counts(snapshot)
+    if not ranked:
+        return []
+    series: List[Tuple[int, int]] = []
+    max_rank = len(ranked)
+    decades = math.ceil(math.log10(max_rank)) if max_rank > 1 else 1
+    seen = set()
+    for step in range(decades * points_per_decade + 1):
+        rank = int(round(10 ** (step / points_per_decade)))
+        rank = min(max(1, rank), max_rank)
+        if rank not in seen:
+            seen.add(rank)
+            series.append((rank, ranked[rank - 1]))
+    return series

@@ -1,0 +1,37 @@
+"""The §3.2 growth paragraph: ecosystem trajectories across snapshots."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.crawler.store import SnapshotStore
+
+
+def growth_percentages(store: SnapshotStore) -> Dict[str, float]:
+    """First-to-last growth of each headline count, in percent.
+
+    The paper reports +11% services, +31% triggers, +27% actions, +19%
+    add count between 11/24/2016 and 4/1/2017.
+    """
+    return {key: 100.0 * value for key, value in store.growth().items()}
+
+
+def weekly_series(store: SnapshotStore, key: str) -> List[int]:
+    """One headline count per archived week (for trend plots)."""
+    series = []
+    for summary in store.weekly_summaries():
+        if key not in summary:
+            raise KeyError(f"unknown summary key {key!r}")
+        series.append(summary[key])
+    return series
+
+
+def monotonically_growing(store: SnapshotStore, key: str, slack: float = 0.02) -> bool:
+    """Whether a count grows (within slack) week over week.
+
+    §3.2: "services and applets kept growing steadily."
+    """
+    series = weekly_series(store, key)
+    return all(
+        later >= earlier * (1.0 - slack) for earlier, later in zip(series, series[1:])
+    )

@@ -1,0 +1,71 @@
+"""The public-applet count across the three measurement studies.
+
+§3.2: "We also notice the significant increase of the applet size
+compared to prior studies: 67K in 6/2013 [27], 224K in 9/2015 [28], and
+~320K in our dataset [3/2017]."  This module fits that trajectory and
+exposes growth-rate/doubling-time/projection helpers — the longitudinal
+context for the paper's "fast growth of the IFTTT ecosystem" conclusion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: (decimal year, public applet count, source)
+STUDY_POINTS: List[Tuple[float, int, str]] = [
+    (2013.0 + 5.5 / 12.0, 67_000, "Ur et al. CHI'14 [27]"),
+    (2015.0 + 8.5 / 12.0, 224_000, "Ur et al. CHI'16 [28]"),
+    (2017.0 + 2.8 / 12.0, 320_000, "this paper (3/25/2017 snapshot)"),
+]
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """An exponential fit ``count(t) = exp(a + b * t)``."""
+
+    a: float
+    b: float
+
+    @property
+    def annual_growth(self) -> float:
+        """Relative growth per year, e.g. 0.5 = +50%/year."""
+        return math.exp(self.b) - 1.0
+
+    @property
+    def doubling_time_years(self) -> float:
+        """Years for the applet count to double under the fit."""
+        if self.b <= 0:
+            return math.inf
+        return math.log(2.0) / self.b
+
+    def project(self, year: float) -> int:
+        """Projected applet count at a decimal year."""
+        return int(round(math.exp(self.a + self.b * year)))
+
+
+def fit_exponential(points: List[Tuple[float, int, str]] = STUDY_POINTS) -> GrowthFit:
+    """Least-squares fit of log(count) against year."""
+    if len(points) < 2:
+        raise ValueError("need at least two study points")
+    xs = [year for year, _, _ in points]
+    ys = [math.log(count) for _, count, _ in points]
+    n = len(points)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("study points must span more than one year value")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    b = sxy / sxx
+    a = mean_y - b * mean_x
+    return GrowthFit(a=a, b=b)
+
+
+def fit_residuals(points: List[Tuple[float, int, str]] = STUDY_POINTS) -> List[float]:
+    """Relative error of the fit at each study point (for sanity checks)."""
+    fit = fit_exponential(points)
+    return [
+        (fit.project(year) - count) / count for year, count, _ in points
+    ]

@@ -1,0 +1,50 @@
+"""The headline IoT statistics: 52% of services, 16% of applet usage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.analysis.classify import ServiceClassifier
+from repro.crawler.snapshot import CrawlSnapshot
+
+
+@dataclass(frozen=True)
+class IotShares:
+    """IoT shares of the ecosystem (abstract + §3.2)."""
+
+    iot_service_fraction: float
+    iot_add_fraction: float
+    iot_trigger_add_fraction: float
+    iot_action_add_fraction: float
+
+
+def iot_shares(
+    snapshot: CrawlSnapshot, classifier: Optional[ServiceClassifier] = None
+) -> IotShares:
+    """Compute the IoT shares from a crawled snapshot.
+
+    An applet counts toward IoT usage when *either* its trigger or its
+    action service is IoT-related (categories 1-4) — the paper's
+    definition of "IoT applets".
+    """
+    classifier = classifier or ServiceClassifier()
+    categories = classifier.classify_all(snapshot.services.values())
+    iot: Set[str] = {slug for slug, index in categories.items() if index <= 4}
+    total_adds = sum(a.add_count for a in snapshot.applets.values()) or 1
+    iot_adds = trigger_adds = action_adds = 0
+    for applet in snapshot.applets.values():
+        is_trigger_iot = applet.trigger_service_slug in iot
+        is_action_iot = applet.action_service_slug in iot
+        if is_trigger_iot or is_action_iot:
+            iot_adds += applet.add_count
+        if is_trigger_iot:
+            trigger_adds += applet.add_count
+        if is_action_iot:
+            action_adds += applet.add_count
+    return IotShares(
+        iot_service_fraction=len(iot) / max(1, len(snapshot.services)),
+        iot_add_fraction=iot_adds / total_adds,
+        iot_trigger_add_fraction=trigger_adds / total_adds,
+        iot_action_add_fraction=action_adds / total_adds,
+    )

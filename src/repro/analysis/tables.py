@@ -1,0 +1,146 @@
+"""Tables 1, 2, and 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.classify import ServiceClassifier
+from repro.crawler.snapshot import CrawlSnapshot
+from repro.crawler.store import SnapshotStore
+from repro.ecosystem.categories import CATEGORIES
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One category row: service share and add-count shares."""
+
+    category_index: int
+    category_name: str
+    pct_services: float
+    trigger_ac_pct: float
+    action_ac_pct: float
+
+
+def table1(
+    snapshot: CrawlSnapshot, classifier: Optional[ServiceClassifier] = None
+) -> List[Table1Row]:
+    """Reproduce Table 1 from one crawled snapshot.
+
+    Services are classified by keyword (standing in for the authors'
+    manual pass); trigger/action add-count shares aggregate each applet's
+    add count onto its trigger/action service's category.
+    """
+    classifier = classifier or ServiceClassifier()
+    categories = classifier.classify_all(snapshot.services.values())
+    n_services = len(snapshot.services)
+    total_adds = sum(a.add_count for a in snapshot.applets.values()) or 1
+    service_counts = {cat.index: 0 for cat in CATEGORIES}
+    trigger_adds = {cat.index: 0 for cat in CATEGORIES}
+    action_adds = {cat.index: 0 for cat in CATEGORIES}
+    for slug, index in categories.items():
+        service_counts[index] += 1
+    for applet in snapshot.applets.values():
+        trigger_adds[categories.get(applet.trigger_service_slug, 14)] += applet.add_count
+        action_adds[categories.get(applet.action_service_slug, 14)] += applet.add_count
+    return [
+        Table1Row(
+            category_index=cat.index,
+            category_name=cat.name,
+            pct_services=100.0 * service_counts[cat.index] / n_services,
+            trigger_ac_pct=100.0 * trigger_adds[cat.index] / total_adds,
+            action_ac_pct=100.0 * action_adds[cat.index] / total_adds,
+        )
+        for cat in CATEGORIES
+    ]
+
+
+#: The comparison dataset of Ur et al. (CHI'16 note, ref [28]) from Table 2.
+UR_ET_AL_DATASET: Dict[str, object] = {
+    "applets": 224_000,
+    "channels": 220,
+    "triggers": 768,
+    "actions": 368,
+    "adoptions": 12_000_000,
+    "applet_contributors": 106_000,
+    "snapshots": 1,
+    "duration": "Sep 2015",
+}
+
+
+def table2(store: SnapshotStore, contributors: int) -> Dict[str, Dict[str, object]]:
+    """Reproduce Table 2: our campaign vs the dataset of Ur et al. [28]."""
+    last = store.last().summary()
+    ours: Dict[str, object] = {
+        "applets": last["applets"],
+        "channels": last["services"],
+        "triggers": last["triggers"],
+        "actions": last["actions"],
+        "adoptions": last["add_count"],
+        "applet_contributors": contributors,
+        "snapshots": len(store),
+        "duration": f"{store.first().date} to {store.last().date}",
+    }
+    return {"ours": ours, "ur_et_al": dict(UR_ET_AL_DATASET)}
+
+
+@dataclass(frozen=True)
+class Table3:
+    """Top IoT trigger/action services, triggers, and actions."""
+
+    top_trigger_services: List[tuple]
+    top_action_services: List[tuple]
+    top_triggers: List[tuple]
+    top_actions: List[tuple]
+
+
+def table3(
+    snapshot: CrawlSnapshot,
+    classifier: Optional[ServiceClassifier] = None,
+    k: int = 7,
+) -> Table3:
+    """Reproduce Table 3: top-k IoT entities by add count.
+
+    Entries are ``(name, add_count)`` for services and
+    ``(endpoint_name, service_name, add_count)`` for triggers/actions.
+    """
+    classifier = classifier or ServiceClassifier()
+    categories = classifier.classify_all(snapshot.services.values())
+    iot = {slug for slug, index in categories.items() if index <= 4}
+
+    trigger_service_adds: Dict[str, int] = {}
+    action_service_adds: Dict[str, int] = {}
+    trigger_adds: Dict[tuple, int] = {}
+    action_adds: Dict[tuple, int] = {}
+    for applet in snapshot.applets.values():
+        if applet.trigger_service_slug in iot:
+            trigger_service_adds[applet.trigger_service_slug] = (
+                trigger_service_adds.get(applet.trigger_service_slug, 0) + applet.add_count
+            )
+            key = (applet.trigger_name, applet.trigger_service_slug)
+            trigger_adds[key] = trigger_adds.get(key, 0) + applet.add_count
+        if applet.action_service_slug in iot:
+            action_service_adds[applet.action_service_slug] = (
+                action_service_adds.get(applet.action_service_slug, 0) + applet.add_count
+            )
+            key = (applet.action_name, applet.action_service_slug)
+            action_adds[key] = action_adds.get(key, 0) + applet.add_count
+
+    def service_name(slug: str) -> str:
+        service = snapshot.services.get(slug)
+        return service.name if service else slug
+
+    def top_services(adds: Dict[str, int]) -> List[tuple]:
+        ranked = sorted(adds.items(), key=lambda kv: kv[1], reverse=True)[:k]
+        return [(service_name(slug), count) for slug, count in ranked]
+
+    def top_endpoints(adds: Dict[tuple, int]) -> List[tuple]:
+        ranked = sorted(adds.items(), key=lambda kv: kv[1], reverse=True)[:k]
+        return [(name, service_name(slug), count) for (name, slug), count in ranked]
+
+    return Table3(
+        top_trigger_services=top_services(trigger_service_adds),
+        top_action_services=top_services(action_service_adds),
+        top_triggers=top_endpoints(trigger_adds),
+        top_actions=top_endpoints(action_adds),
+    )

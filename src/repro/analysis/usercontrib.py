@@ -1,0 +1,49 @@
+"""§3.2 "Applet Properties": user channels and crowdsourced contribution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.crawler.snapshot import CrawlSnapshot
+from repro.ecosystem.popularity import top_share
+
+
+@dataclass(frozen=True)
+class UserContribution:
+    """The §3.2 user-contribution statistics."""
+
+    user_channels: int
+    user_made_applet_fraction: float
+    user_made_add_fraction: float
+    top1pct_user_applet_share: float
+    top10pct_user_applet_share: float
+
+    def dominated_by_users(self) -> bool:
+        """The paper's conclusion: user-made applets dominate usage."""
+        return self.user_made_applet_fraction > 0.9 and self.user_made_add_fraction > 0.5
+
+
+def user_contribution_stats(snapshot: CrawlSnapshot) -> UserContribution:
+    """Compute the §3.2 contribution statistics from one snapshot."""
+    applets = list(snapshot.applets.values())
+    if not applets:
+        raise ValueError("snapshot has no applets")
+    per_user: Dict[str, int] = {}
+    user_made = 0
+    user_adds = 0
+    total_adds = 0
+    for applet in applets:
+        total_adds += applet.add_count
+        if applet.author_is_user:
+            user_made += 1
+            user_adds += applet.add_count
+            per_user[applet.author] = per_user.get(applet.author, 0) + 1
+    published_counts = list(per_user.values())
+    return UserContribution(
+        user_channels=len(per_user),
+        user_made_applet_fraction=user_made / len(applets),
+        user_made_add_fraction=user_adds / total_adds if total_adds else 0.0,
+        top1pct_user_applet_share=top_share(published_counts, 0.01),
+        top10pct_user_applet_share=top_share(published_counts, 0.10),
+    )

@@ -1,0 +1,214 @@
+"""Command-line interface: rerun the paper's measurements from a shell.
+
+Examples::
+
+    python -m repro ecosystem --scale 0.05
+    python -m repro t2a --applet A2 --runs 20
+    python -m repro t2a --applet A2 --scenario E3 --runs 10
+    python -m repro timeline
+    python -m repro loops --kind implicit --runtime-detection
+    python -m repro fleet --applets 150 --push
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def _cmd_ecosystem(args: argparse.Namespace) -> int:
+    from repro.analysis import growth_percentages, iot_shares, table1, user_contribution_stats
+    from repro.crawler import IftttCrawler, SnapshotStore
+    from repro.ecosystem import EcosystemGenerator, EcosystemParams
+    from repro.frontend import SimulatedIftttSite
+    from repro.reporting import render_table
+
+    corpus = EcosystemGenerator(EcosystemParams(scale=args.scale, seed=args.seed)).generate()
+    site = SimulatedIftttSite(corpus)
+    crawler = IftttCrawler(site)
+    store = SnapshotStore()
+    for week in (0, 12, 24):
+        store.add(crawler.crawl(week=week))
+    final = store.last()
+    print(f"snapshot {final.date}: {final.summary()}")
+    print()
+    print(render_table(
+        ["#", "Category", "%Svc", "Trig AC%", "Act AC%"],
+        [[r.category_index, r.category_name[:38], r.pct_services,
+          r.trigger_ac_pct, r.action_ac_pct] for r in table1(final)],
+    ))
+    shares = iot_shares(final)
+    contrib = user_contribution_stats(final)
+    print(f"\nIoT: {shares.iot_service_fraction:.1%} of services, "
+          f"{shares.iot_add_fraction:.1%} of usage")
+    print(f"user channels: {contrib.user_channels}; user-made applets: "
+          f"{contrib.user_made_applet_fraction:.1%} ({contrib.user_made_add_fraction:.1%} of adds)")
+    growth = growth_percentages(store)
+    print("growth:", ", ".join(f"{k} {v:+.1f}%" for k, v in growth.items()))
+    if args.save:
+        store.save(args.save)
+        print(f"snapshots saved to {args.save}")
+    return 0
+
+
+def _cmd_t2a(args: argparse.Namespace) -> int:
+    from repro.reporting import summarize_latencies
+    from repro.testbed.scenarios import SCENARIOS, build_scenario
+
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; choose from {sorted(SCENARIOS)}",
+              file=sys.stderr)
+        return 2
+    _, controller, chosen = build_scenario(args.scenario, seed=args.seed)
+    latencies = controller.measure_t2a(
+        args.applet, runs=args.runs, variant=chosen.applet_variant,
+        spacing=20.0 if chosen.fast_engine else 150.0,
+    )
+    stats = summarize_latencies(latencies)
+    print(f"{args.applet} under {args.scenario} ({chosen.description})")
+    print(f"  n={int(stats['n'])} p25={stats['p25']:.2f}s p50={stats['p50']:.2f}s "
+          f"p75={stats['p75']:.2f}s max={stats['max']:.2f}s")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.testbed.timeline import capture_timeline, format_timeline
+
+    print(format_timeline(capture_timeline(seed=args.seed)))
+    return 0
+
+
+def _cmd_loops(args: argparse.Namespace) -> int:
+    from repro.testbed.loops import (
+        run_explicit_loop_experiment,
+        run_implicit_loop_experiment,
+    )
+
+    runner = (run_explicit_loop_experiment if args.kind == "explicit"
+              else run_implicit_loop_experiment)
+    result = runner(duration=args.duration, seed=args.seed,
+                    runtime_detection=args.runtime_detection)
+    print(f"{args.kind} loop over {args.duration/60:.0f} simulated minutes:")
+    print(f"  rows added: {result.rows_added}, emails: {result.emails_received}, "
+          f"self-sustained: {result.looped}")
+    print(f"  static analysis (blind): {len(result.static_findings)} cycle(s); "
+          f"with external knowledge: {len(result.static_findings_with_external_knowledge)}")
+    if args.runtime_detection:
+        print(f"  runtime detector flagged: {result.runtime_flagged}, "
+              f"disabled: {result.disabled_applets}")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.testbed.workload import run_fleet_experiment
+
+    result = run_fleet_experiment(
+        n_applets=args.applets, push=args.push,
+        publications=args.publications, seed=args.seed,
+    )
+    regime = "push" if args.push else "poll"
+    print(f"{args.applets}-applet fleet under {regime}:")
+    print(f"  actions executed: {result.actions_executed}")
+    print(f"  median latency:   {result.median_latency():.2f} s")
+    print(f"  peak polls/s:     {result.peak_polls_per_second()}")
+    print(f"  mean polls/s:     {result.mean_polls_per_second():.2f}")
+    print(f"  peak/mean:        {result.burstiness():.1f}")
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from repro.reporting import render_table
+    from repro.testbed.decomposition import mean_shares, run_decomposition
+
+    breakdowns = run_decomposition(runs=args.runs, seed=args.seed)
+    shares = mean_shares(breakdowns)
+    print(f"T2A decomposition over {len(breakdowns)} runs of A2/E2:")
+    print(render_table(
+        ["stage", "mean share"],
+        [[stage, f"{share:.1%}"] for stage, share in shares.items()],
+    ))
+    return 0
+
+
+def _cmd_export_figures(args: argparse.Namespace) -> int:
+    from repro.reporting import export_all_figures
+
+    written = export_all_figures(
+        args.output, corpus_scale=args.scale, t2a_runs=args.runs, seed=args.seed
+    )
+    for key, path in sorted(written.items()):
+        print(f"  {key:16s} -> {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rerun the IMC'17 IFTTT characterization experiments.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ecosystem = sub.add_parser("ecosystem", help="generate, crawl, and analyze the §3 corpus")
+    ecosystem.add_argument("--scale", type=float, default=0.05,
+                           help="corpus scale factor in (0, 1] (default 0.05)")
+    ecosystem.add_argument("--seed", type=int, default=2017)
+    ecosystem.add_argument("--save", metavar="PATH", help="save crawled snapshots as JSON")
+    ecosystem.set_defaults(func=_cmd_ecosystem)
+
+    t2a = sub.add_parser("t2a", help="measure trigger-to-action latency (§4)")
+    t2a.add_argument("--applet", default="A2", choices=[f"A{i}" for i in range(1, 8)])
+    t2a.add_argument("--scenario", default="official",
+                     help="official, E1, E2, or E3 (default official)")
+    t2a.add_argument("--runs", type=int, default=20)
+    t2a.add_argument("--seed", type=int, default=7)
+    t2a.set_defaults(func=_cmd_t2a)
+
+    timeline = sub.add_parser("timeline", help="print a Table 5 execution timeline")
+    timeline.add_argument("--seed", type=int, default=21)
+    timeline.set_defaults(func=_cmd_timeline)
+
+    loops = sub.add_parser("loops", help="run an infinite-loop experiment (§4)")
+    loops.add_argument("--kind", choices=("explicit", "implicit"), default="explicit")
+    loops.add_argument("--duration", type=float, default=3600.0,
+                       help="simulated seconds (default 3600)")
+    loops.add_argument("--runtime-detection", action="store_true",
+                       help="enable the runtime loop kill switch")
+    loops.add_argument("--seed", type=int, default=3)
+    loops.set_defaults(func=_cmd_loops)
+
+    fleet = sub.add_parser("fleet", help="fleet-scale poll-vs-push experiment (§6)")
+    fleet.add_argument("--applets", type=int, default=150)
+    fleet.add_argument("--push", action="store_true",
+                       help="honour realtime hints for everyone (full push)")
+    fleet.add_argument("--publications", type=int, default=4)
+    fleet.add_argument("--seed", type=int, default=5)
+    fleet.set_defaults(func=_cmd_fleet)
+
+    decompose = sub.add_parser("decompose", help="T2A latency stage decomposition")
+    decompose.add_argument("--runs", type=int, default=15)
+    decompose.add_argument("--seed", type=int, default=7)
+    decompose.set_defaults(func=_cmd_decompose)
+
+    export = sub.add_parser("export-figures", help="write every figure's data as CSV")
+    export.add_argument("--output", default="figures", help="output directory")
+    export.add_argument("--scale", type=float, default=0.05)
+    export.add_argument("--runs", type=int, default=20)
+    export.add_argument("--seed", type=int, default=7)
+    export.set_defaults(func=_cmd_export_figures)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

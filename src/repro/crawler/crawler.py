@@ -1,0 +1,94 @@
+"""The crawler: index parse, service pages, applet-id enumeration."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crawler.parser import parse_applet_page, parse_index_page, parse_service_page
+from repro.crawler.snapshot import CrawledApplet, CrawledService, CrawlSnapshot
+from repro.frontend.site import SimulatedIftttSite
+
+
+class IftttCrawler:
+    """Takes weekly snapshots of a simulated ifttt.com.
+
+    Applet discovery enumerates six-digit ids starting at
+    ``id_floor`` (100000) and stops after ``miss_streak_limit``
+    consecutive 404s — the id space is sparse but dense enough that a
+    long miss streak reliably marks its end (the same property the
+    paper's enumeration exploited).
+    """
+
+    def __init__(
+        self,
+        site: SimulatedIftttSite,
+        id_floor: int = 100000,
+        id_ceiling: int = 999999,
+        miss_streak_limit: int = 2000,
+    ) -> None:
+        if id_floor >= id_ceiling:
+            raise ValueError("id_floor must be below id_ceiling")
+        self.site = site
+        self.id_floor = id_floor
+        self.id_ceiling = id_ceiling
+        self.miss_streak_limit = miss_streak_limit
+
+    def crawl(self, week: Optional[int] = None) -> CrawlSnapshot:
+        """Take one full snapshot as of ``week`` (final week by default)."""
+        if week is None:
+            week = self.site.corpus.final_week
+        snapshot = CrawlSnapshot(week=week)
+        self._crawl_services(snapshot, week)
+        self._crawl_applets(snapshot, week)
+        return snapshot
+
+    # -- services -----------------------------------------------------------------
+
+    def _crawl_services(self, snapshot: CrawlSnapshot, week: int) -> None:
+        index_page = self.site.fetch("/services", week=week)
+        if index_page is None:
+            raise RuntimeError("service index page unavailable")
+        snapshot.pages_fetched += 1
+        for entry in parse_index_page(index_page):
+            page = self.site.fetch(f"/services/{entry['slug']}", week=week)
+            if page is None:
+                continue
+            snapshot.pages_fetched += 1
+            parsed = parse_service_page(page)
+            snapshot.services[entry["slug"]] = CrawledService(
+                slug=entry["slug"],
+                name=parsed["name"],
+                description=parsed["description"],
+                triggers=parsed["triggers"],
+                actions=parsed["actions"],
+            )
+
+    # -- applets ----------------------------------------------------------------------
+
+    def _crawl_applets(self, snapshot: CrawlSnapshot, week: int) -> None:
+        misses = 0
+        applet_id = self.id_floor
+        while applet_id <= self.id_ceiling and misses < self.miss_streak_limit:
+            snapshot.ids_probed += 1
+            page = self.site.fetch(f"/applets/{applet_id}", week=week)
+            if page is None:
+                misses += 1
+            else:
+                misses = 0
+                snapshot.pages_fetched += 1
+                parsed = parse_applet_page(page)
+                snapshot.applets[applet_id] = CrawledApplet(
+                    applet_id=applet_id,
+                    name=parsed["name"],
+                    description=parsed.get("description", ""),
+                    trigger_name=parsed.get("trigger_name", ""),
+                    trigger_slug=parsed.get("trigger_name_slug", ""),
+                    trigger_service_slug=parsed.get("trigger_service_slug", ""),
+                    action_name=parsed.get("action_name", ""),
+                    action_slug=parsed.get("action_name_slug", ""),
+                    action_service_slug=parsed.get("action_service_slug", ""),
+                    author=parsed.get("author", ""),
+                    author_is_user=parsed.get("author_kind") == "user",
+                    add_count=parsed["add_count"],
+                )
+            applet_id += 1

@@ -1,0 +1,78 @@
+"""HTML scrapers for the simulated ifttt.com pages.
+
+Regex-based extraction against the page structure the crawler
+reverse-engineered.  Parsers raise :class:`ParseError` on structurally
+unexpected pages so crawl-time breakage is loud, the way a real scraper
+pipeline must be.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+from typing import Any, Dict, List
+
+_SERVICE_LINK_RE = re.compile(r'href="/services/([a-z0-9_]+)">([^<]+)</a>')
+_SERVICE_NAME_RE = re.compile(r'<h1 class="service-name">([^<]*)</h1>')
+_SERVICE_DESC_RE = re.compile(r'<p class="service-description">([^<]*)</p>')
+_TRIGGER_RE = re.compile(r'<li class="trigger" data-slug="([^"]+)">([^<]*)</li>')
+_ACTION_RE = re.compile(r'<li class="action" data-slug="([^"]+)">([^<]*)</li>')
+_APPLET_NAME_RE = re.compile(r'<h1 class="applet-name">([^<]*)</h1>')
+_APPLET_DESC_RE = re.compile(r'<p class="applet-description">([^<]*)</p>')
+_META_RE = re.compile(r'<dd class="([a-z-]+)"(?: data-slug="([^"]*)")?(?: data-kind="([^"]*)")?>([^<]*)</dd>')
+
+
+class ParseError(ValueError):
+    """A page did not match the expected structure."""
+
+
+def parse_index_page(page: str) -> List[Dict[str, str]]:
+    """Extract ``{slug, name}`` entries from the service index page."""
+    matches = _SERVICE_LINK_RE.findall(page)
+    if not matches and "All services" not in page:
+        raise ParseError("not a service index page")
+    return [{"slug": slug, "name": html.unescape(name)} for slug, name in matches]
+
+
+def parse_service_page(page: str) -> Dict[str, Any]:
+    """Extract name, description, triggers, and actions from a service page."""
+    name = _SERVICE_NAME_RE.search(page)
+    if name is None:
+        raise ParseError("service page missing name header")
+    description = _SERVICE_DESC_RE.search(page)
+    return {
+        "name": html.unescape(name.group(1)),
+        "description": html.unescape(description.group(1)) if description else "",
+        "triggers": [
+            {"slug": slug, "name": html.unescape(text)}
+            for slug, text in _TRIGGER_RE.findall(page)
+        ],
+        "actions": [
+            {"slug": slug, "name": html.unescape(text)}
+            for slug, text in _ACTION_RE.findall(page)
+        ],
+    }
+
+
+def parse_applet_page(page: str) -> Dict[str, Any]:
+    """Extract the §3.1 applet fields: name, description, trigger, trigger
+    service, action, action service, author, and add count."""
+    name = _APPLET_NAME_RE.search(page)
+    if name is None:
+        raise ParseError("applet page missing name header")
+    description = _APPLET_DESC_RE.search(page)
+    record: Dict[str, Any] = {
+        "name": html.unescape(name.group(1)),
+        "description": html.unescape(description.group(1)) if description else "",
+    }
+    for css_class, slug, kind, text in _META_RE.findall(page):
+        key = css_class.replace("-", "_")
+        record[key] = html.unescape(text)
+        if slug:
+            record[f"{key}_slug"] = slug
+        if kind:
+            record[f"{key}_kind"] = kind
+    if "add_count" not in record:
+        raise ParseError("applet page missing add count")
+    record["add_count"] = int(record["add_count"])
+    return record

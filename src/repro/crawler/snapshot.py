@@ -1,0 +1,116 @@
+"""One weekly crawl snapshot."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.ecosystem.growth import snapshot_date
+
+
+@dataclass
+class CrawledService:
+    """A service as scraped from its page."""
+
+    slug: str
+    name: str
+    description: str
+    triggers: List[Dict[str, str]] = field(default_factory=list)
+    actions: List[Dict[str, str]] = field(default_factory=list)
+
+    @property
+    def trigger_count(self) -> int:
+        """Number of scraped triggers."""
+        return len(self.triggers)
+
+    @property
+    def action_count(self) -> int:
+        """Number of scraped actions."""
+        return len(self.actions)
+
+
+@dataclass
+class CrawledApplet:
+    """An applet as scraped from its page."""
+
+    applet_id: int
+    name: str
+    description: str
+    trigger_name: str
+    trigger_slug: str
+    trigger_service_slug: str
+    action_name: str
+    action_slug: str
+    action_service_slug: str
+    author: str
+    author_is_user: bool
+    add_count: int
+
+
+@dataclass
+class CrawlSnapshot:
+    """Everything one weekly crawl collected."""
+
+    week: int
+    services: Dict[str, CrawledService] = field(default_factory=dict)
+    applets: Dict[int, CrawledApplet] = field(default_factory=dict)
+    pages_fetched: int = 0
+    ids_probed: int = 0
+
+    @property
+    def date(self) -> str:
+        """ISO date of this snapshot."""
+        return snapshot_date(self.week)
+
+    def summary(self) -> Dict[str, int]:
+        """Headline counts, matching :meth:`repro.ecosystem.corpus.Corpus.summary`."""
+        return {
+            "services": len(self.services),
+            "triggers": sum(s.trigger_count for s in self.services.values()),
+            "actions": sum(s.action_count for s in self.services.values()),
+            "applets": len(self.applets),
+            "add_count": sum(a.add_count for a in self.applets.values()),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (for :class:`~repro.crawler.store.SnapshotStore`)."""
+        return {
+            "week": self.week,
+            "date": self.date,
+            "pages_fetched": self.pages_fetched,
+            "ids_probed": self.ids_probed,
+            "services": {
+                slug: {
+                    "slug": s.slug,
+                    "name": s.name,
+                    "description": s.description,
+                    "triggers": s.triggers,
+                    "actions": s.actions,
+                }
+                for slug, s in self.services.items()
+            },
+            "applets": {
+                str(applet_id): vars(a) for applet_id, a in self.applets.items()
+            },
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "CrawlSnapshot":
+        """Inverse of :meth:`to_dict`."""
+        snapshot = CrawlSnapshot(
+            week=payload["week"],
+            pages_fetched=payload.get("pages_fetched", 0),
+            ids_probed=payload.get("ids_probed", 0),
+        )
+        for slug, raw in payload.get("services", {}).items():
+            snapshot.services[slug] = CrawledService(
+                slug=raw["slug"],
+                name=raw["name"],
+                description=raw.get("description", ""),
+                triggers=list(raw.get("triggers", [])),
+                actions=list(raw.get("actions", [])),
+            )
+        for raw in payload.get("applets", {}).values():
+            applet = CrawledApplet(**raw)
+            snapshot.applets[applet.applet_id] = applet
+        return snapshot

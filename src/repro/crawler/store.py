@@ -1,0 +1,77 @@
+"""Multi-week snapshot archive."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.crawler.snapshot import CrawlSnapshot
+
+
+class SnapshotStore:
+    """Holds the weekly snapshots of a measurement campaign.
+
+    Supports the §3.2 growth analysis (first-vs-last deltas) and JSON
+    persistence (the paper archived ~12 GB per snapshot; our snapshots
+    serialize to a few MB at reduced scale).
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[int, CrawlSnapshot] = {}
+
+    def add(self, snapshot: CrawlSnapshot) -> None:
+        """Archive one snapshot (replacing any existing one for its week)."""
+        self._snapshots[snapshot.week] = snapshot
+
+    def weeks(self) -> List[int]:
+        """Archived weeks, ascending."""
+        return sorted(self._snapshots)
+
+    def get(self, week: int) -> CrawlSnapshot:
+        """Snapshot for one week."""
+        return self._snapshots[week]
+
+    def first(self) -> CrawlSnapshot:
+        """Earliest snapshot."""
+        return self._snapshots[self.weeks()[0]]
+
+    def last(self) -> CrawlSnapshot:
+        """Latest snapshot."""
+        return self._snapshots[self.weeks()[-1]]
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    # -- growth ------------------------------------------------------------------
+
+    def growth(self) -> Dict[str, float]:
+        """Relative growth of each headline count, first to last snapshot."""
+        if len(self._snapshots) < 2:
+            raise ValueError("growth needs at least two snapshots")
+        start = self.first().summary()
+        end = self.last().summary()
+        return {
+            key: (end[key] / start[key] - 1.0) if start[key] else float("inf")
+            for key in start
+        }
+
+    def weekly_summaries(self) -> List[Dict[str, int]]:
+        """Headline counts per archived week, ascending."""
+        return [dict(self._snapshots[w].summary(), week=w) for w in self.weeks()]
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Serialize all snapshots to a JSON file."""
+        payload = {str(week): snap.to_dict() for week, snap in self._snapshots.items()}
+        Path(path).write_text(json.dumps(payload))
+
+    @staticmethod
+    def load(path) -> "SnapshotStore":
+        """Load a store previously written by :meth:`save`."""
+        store = SnapshotStore()
+        payload = json.loads(Path(path).read_text())
+        for raw in payload.values():
+            store.add(CrawlSnapshot.from_dict(raw))
+        return store

@@ -1,0 +1,400 @@
+"""The ecosystem generator.
+
+Produces a :class:`~repro.ecosystem.corpus.Corpus` whose final-week
+snapshot reproduces the paper's published §3.2 statistics; see the
+package docstring for the list.  The pipeline:
+
+1. Apportion services to the 14 categories by Table 1's service shares
+   (largest-remainder), seeding each category with its real anchor
+   services (Table 3).
+2. Apportion the trigger/action universes (1490 / 957) across services,
+   weighting trigger-rich and action-rich categories accordingly.
+3. Draw applet add counts from the fitted shifted-Zipf law (Figure 3).
+4. Assign each applet a (trigger-category, action-category) cell by
+   greedy add-mass allocation against the IPF-fitted Figure 2 matrix, so
+   the realized *add-weighted* marginals match Table 1.
+5. Pick concrete services/endpoints within the cell (anchors carry the
+   Table 3 weights), an author (user channels with heavy-tailed
+   contribution; ~2% of applets are service-made but they skew popular,
+   carrying ~14% of adds), and a creation week (§3.2 growth).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ecosystem.anchors import ANCHOR_SERVICES, AnchorService
+from repro.ecosystem.categories import CATEGORIES
+from repro.ecosystem.corpus import (
+    ActionRecord,
+    AppletRecord,
+    Corpus,
+    ServiceRecord,
+    TriggerRecord,
+)
+from repro.ecosystem.growth import FINAL_WEEK, GROWTH_TARGETS, GrowthSchedule, conditional_fraction
+from repro.ecosystem.interactions import fit_interaction_matrix
+from repro.ecosystem.model import EcosystemParams
+from repro.ecosystem.naming import (
+    action_names,
+    applet_name,
+    service_description,
+    service_name,
+    slugify,
+    trigger_names,
+)
+from repro.ecosystem.popularity import zipf_add_counts
+from repro.simcore.rng import Rng
+
+#: How strongly anchors dominate endpoint selection within their category.
+ANCHOR_BOOST = 50.0
+
+
+class _WeightedSampler:
+    """O(log n) sampling from a fixed weight vector."""
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        self._cumulative = list(itertools.accumulate(weights))
+        if self._cumulative[-1] <= 0:
+            raise ValueError("weights must sum to a positive value")
+
+    def sample(self, rng: Rng) -> int:
+        target = rng.random() * self._cumulative[-1]
+        return bisect.bisect_right(self._cumulative, target)
+
+
+def _largest_remainder(total: int, weights: Sequence[float]) -> List[int]:
+    """Apportion ``total`` integer slots proportionally to ``weights``."""
+    weight_sum = float(sum(weights))
+    raw = [total * w / weight_sum for w in weights]
+    counts = [int(x) for x in raw]
+    leftover = total - sum(counts)
+    order = sorted(range(len(weights)), key=lambda i: raw[i] - counts[i], reverse=True)
+    for i in order[:leftover]:
+        counts[i] += 1
+    return counts
+
+
+class EcosystemGenerator:
+    """Generates calibrated synthetic IFTTT corpora."""
+
+    def __init__(
+        self,
+        params: Optional[EcosystemParams] = None,
+        schedule: Optional[GrowthSchedule] = None,
+    ) -> None:
+        self.params = params or EcosystemParams()
+        self.schedule = schedule or GrowthSchedule()
+        self.rng = Rng(seed=self.params.seed, name="ecosystem")
+
+    # -- public API ---------------------------------------------------------------
+
+    def generate(self) -> Corpus:
+        """Build the full corpus."""
+        corpus = Corpus(final_week=FINAL_WEEK)
+        by_category = self._generate_services(corpus)
+        self._apportion_endpoints(corpus, by_category)
+        self._generate_applets(corpus, by_category)
+        return corpus
+
+    # -- services --------------------------------------------------------------------
+
+    def _generate_services(self, corpus: Corpus) -> Dict[int, List[ServiceRecord]]:
+        rng = self.rng.fork("services")
+        counts = _largest_remainder(
+            self.params.n_services, [cat.pct_services for cat in CATEGORIES]
+        )
+        by_category: Dict[int, List[ServiceRecord]] = {cat.index: [] for cat in CATEGORIES}
+        anchors_by_cat: Dict[int, List[AnchorService]] = {}
+        for anchor in ANCHOR_SERVICES:
+            anchors_by_cat.setdefault(anchor.category_index, []).append(anchor)
+
+        for cat, count in zip(CATEGORIES, counts):
+            anchors = anchors_by_cat.get(cat.index, [])
+            for anchor in anchors[:count]:
+                record = ServiceRecord(
+                    slug=slugify(anchor.name),
+                    name=anchor.name,
+                    description=service_description(cat, anchor.name),
+                    category_index=cat.index,
+                    created_week=0,  # market leaders predate the study window
+                )
+                corpus.add_service(record)
+                by_category[cat.index].append(record)
+            for i in range(max(0, count - len(anchors))):
+                name = service_name(cat, i, rng)
+                slug = slugify(f"{name} c{cat.index}")
+                record = ServiceRecord(
+                    slug=slug,
+                    name=name,
+                    description=service_description(cat, name),
+                    category_index=cat.index,
+                    created_week=self.schedule.assign_created_week(rng, GROWTH_TARGETS["services"]),
+                )
+                corpus.add_service(record)
+                by_category[cat.index].append(record)
+        return by_category
+
+    # -- endpoints ---------------------------------------------------------------------
+
+    def _apportion_endpoints(
+        self, corpus: Corpus, by_category: Dict[int, List[ServiceRecord]]
+    ) -> None:
+        rng = self.rng.fork("endpoints")
+        anchors = {slugify(a.name): a for a in ANCHOR_SERVICES}
+        services = list(corpus.services.values())
+
+        # Anchor endpoints are fixed by Table 3.
+        for service in services:
+            anchor = anchors.get(service.slug)
+            if anchor is None:
+                continue
+            for name in anchor.triggers:
+                service.triggers.append(
+                    TriggerRecord(
+                        slug=f"{service.slug}.{slugify(name)}",
+                        name=name,
+                        service_slug=service.slug,
+                        created_week=0,
+                    )
+                )
+            for name in anchor.actions:
+                service.actions.append(
+                    ActionRecord(
+                        slug=f"{service.slug}.{slugify(name)}",
+                        name=name,
+                        service_slug=service.slug,
+                        created_week=0,
+                    )
+                )
+
+        self._distribute_endpoint_counts(corpus, rng, kind="trigger")
+        self._distribute_endpoint_counts(corpus, rng, kind="action")
+
+    def _distribute_endpoint_counts(self, corpus: Corpus, rng: Rng, kind: str) -> None:
+        services = list(corpus.services.values())
+        categories = {cat.index: cat for cat in CATEGORIES}
+        if kind == "trigger":
+            total = self.params.n_triggers
+            existing = sum(len(s.triggers) for s in services)
+            cat_weight = lambda cat: cat.trigger_ac_pct + 1.0
+            growth_key = "triggers"
+        else:
+            total = self.params.n_actions
+            existing = sum(len(s.actions) for s in services)
+            cat_weight = lambda cat: cat.action_ac_pct + 0.5
+            growth_key = "actions"
+
+        # Baseline: one endpoint per service (actions skipped for
+        # time/location, which exposes none — Table 1 shows 0.0%).
+        eligible = [
+            s for s in services
+            if not (kind == "action" and categories[s.category_index].action_ac_pct == 0.0)
+        ]
+        budget = total - existing
+        weights = [cat_weight(categories[s.category_index]) for s in eligible]
+        base = [1] * len(eligible)
+        budget -= len(eligible)
+        if budget < 0:
+            base = [0] * len(eligible)
+            budget += len(eligible)
+        extra = _largest_remainder(max(0, budget), weights)
+
+        def grow(service: ServiceRecord, want_more: int) -> None:
+            if want_more <= 0:
+                return
+            cat = categories[service.category_index]
+            endpoints = service.triggers if kind == "trigger" else service.actions
+            have = len(endpoints)
+            names = (
+                trigger_names(cat, service.name, have + want_more, rng)
+                if kind == "trigger"
+                else action_names(cat, service.name, have + want_more, rng)
+            )
+            taken = {e.slug for e in endpoints}
+            added = 0
+            for name in names:
+                if added >= want_more:
+                    break
+                slug = f"{service.slug}.{slugify(name)}"
+                if slug in taken:
+                    continue
+                taken.add(slug)
+                week = max(
+                    service.created_week,
+                    self.schedule.assign_with_fraction(
+                        rng,
+                        conditional_fraction(
+                            GROWTH_TARGETS[growth_key], GROWTH_TARGETS["services"]
+                        ),
+                    ),
+                )
+                record_cls = TriggerRecord if kind == "trigger" else ActionRecord
+                endpoints.append(
+                    record_cls(slug=slug, name=name, service_slug=service.slug, created_week=week)
+                )
+                added += 1
+
+        for service, base_count, extra_count in zip(eligible, base, extra):
+            have = len(service.triggers) if kind == "trigger" else len(service.actions)
+            grow(service, base_count + extra_count - have)
+
+        # Top up any remaining deficit (anchor surpluses, slug dedupe) so
+        # the universe sizes land exactly on the published totals.
+        def current_total() -> int:
+            return sum(
+                len(s.triggers if kind == "trigger" else s.actions)
+                for s in services
+            )
+
+        cursor = 0
+        while current_total() < total and eligible:
+            grow(eligible[cursor % len(eligible)], 1)
+            cursor += 1
+
+    # -- applets -----------------------------------------------------------------------------
+
+    def _generate_applets(
+        self, corpus: Corpus, by_category: Dict[int, List[ServiceRecord]]
+    ) -> None:
+        rng = self.rng.fork("applets")
+        params = self.params
+        n = params.scaled_applets
+        add_counts = zipf_add_counts(
+            n,
+            params.applet_zipf_alpha,
+            max(params.scaled_add_count, n),
+            shift=params.applet_zipf_shift_frac * n,
+        )
+
+        matrix = fit_interaction_matrix()
+        cells, targets = self._usable_cells(corpus, matrix)
+        total_adds = float(sum(add_counts))
+        remaining = [t * total_adds for t in targets]
+
+        trigger_samplers = self._endpoint_samplers(by_category, side="trigger")
+        action_samplers = self._endpoint_samplers(by_category, side="action")
+        user_sampler = _WeightedSampler(
+            [1.0 / ((i + 1) ** params.user_zipf_alpha) for i in range(params.scaled_users)]
+        )
+
+        next_id = 100000
+        for rank, adds in enumerate(add_counts):
+            # Greedy add-mass allocation keeps the realized add-weighted
+            # category marginals on Table 1 despite the heavy tail.
+            cell_index = max(range(len(cells)), key=lambda i: remaining[i])
+            remaining[cell_index] -= adds
+            trigger_cat, action_cat = cells[cell_index]
+
+            t_service, trigger = self._pick_endpoint(trigger_samplers[trigger_cat], rng)
+            a_service, action = self._pick_endpoint(action_samplers[action_cat], rng)
+
+            author_is_user = not self._service_made(rank, n, rng)
+            if author_is_user:
+                author = f"user{user_sampler.sample(rng) + 1:06d}"
+            else:
+                author = t_service.slug
+            created_week = (
+                0
+                if rank < max(1, int(0.05 * n))
+                else self.schedule.assign_created_week(rng, GROWTH_TARGETS["applets"])
+            )
+            name = applet_name(trigger.name, t_service.name, action.name, a_service.name)
+            corpus.add_applet(
+                AppletRecord(
+                    applet_id=next_id,
+                    name=name,
+                    description=f"{name}. Published on {author}'s channel.",
+                    trigger_slug=trigger.slug,
+                    trigger_service_slug=t_service.slug,
+                    action_slug=action.slug,
+                    action_service_slug=a_service.slug,
+                    author=author,
+                    author_is_user=author_is_user,
+                    add_count=adds,
+                    created_week=created_week,
+                )
+            )
+            # Sparse six-digit id space, as the paper's enumeration found.
+            next_id += 1 if rng.random() < 0.6 else rng.randint(2, 4)
+
+    def _usable_cells(self, corpus: Corpus, matrix: List[List[float]]):
+        has_triggers = {cat.index: False for cat in CATEGORIES}
+        has_actions = {cat.index: False for cat in CATEGORIES}
+        for service in corpus.services.values():
+            if service.triggers:
+                has_triggers[service.category_index] = True
+            if service.actions:
+                has_actions[service.category_index] = True
+        cells: List[Tuple[int, int]] = []
+        targets: List[float] = []
+        for i, row in enumerate(matrix):
+            for j, weight in enumerate(row):
+                if weight > 0 and has_triggers[i + 1] and has_actions[j + 1]:
+                    cells.append((i + 1, j + 1))
+                    targets.append(weight)
+        total = sum(targets)
+        return cells, [t / total for t in targets]
+
+    def _endpoint_samplers(
+        self, by_category: Dict[int, List[ServiceRecord]], side: str
+    ) -> Dict[int, Tuple[List[ServiceRecord], _WeightedSampler]]:
+        anchors = {slugify(a.name): a for a in ANCHOR_SERVICES}
+        samplers: Dict[int, Tuple[List[ServiceRecord], _WeightedSampler]] = {}
+        for cat_index, services in by_category.items():
+            candidates = [
+                s for s in services if (s.triggers if side == "trigger" else s.actions)
+            ]
+            if not candidates:
+                continue
+            weights = []
+            for i, service in enumerate(candidates):
+                anchor = anchors.get(service.slug)
+                if anchor is not None:
+                    weight = ANCHOR_BOOST * (
+                        anchor.trigger_weight if side == "trigger" else anchor.action_weight
+                    )
+                    weight = max(weight, 0.05)
+                else:
+                    weight = 1.0 / ((i + 1) ** 0.8)
+                weights.append(weight)
+            samplers[cat_index] = (candidates, _WeightedSampler(weights), side)
+        return samplers
+
+    def _pick_endpoint(self, sampler_entry, rng: Rng):
+        services, sampler, side = sampler_entry
+        service = services[sampler.sample(rng)]
+        endpoints = service.triggers if side == "trigger" else service.actions
+        return service, self._zipf_pick(endpoints, rng)
+
+    @staticmethod
+    def _zipf_pick(items, rng: Rng):
+        weights = [1.0 / ((i + 1) ** 1.1) for i in range(len(items))]
+        total = sum(weights)
+        target = rng.random() * total
+        cursor = 0.0
+        for item, weight in zip(items, weights):
+            cursor += weight
+            if target < cursor:
+                return item
+        return items[-1]
+
+    def _service_made(self, rank: int, n: int, rng: Rng) -> bool:
+        """Whether this applet is published by a service (not a user).
+
+        Service-made applets are rare (~2% of applets) but
+        disproportionately popular (they carry ~14% of adds, leaving 86%
+        to user-made applets, per §3.2): the probability of being
+        service-made decays with popularity rank.
+        """
+        if rank < max(1, int(0.001 * n)):
+            probability = 0.20
+        elif rank < max(1, int(0.01 * n)):
+            probability = 0.08
+        else:
+            probability = 0.012
+        return rng.bernoulli(probability)

@@ -1,0 +1,135 @@
+"""Name generation for synthetic services, triggers, actions, and applets.
+
+Names matter for two consumers: the simulated ifttt.com frontend (pages
+must read like real pages) and the keyword-based service classifier in
+:mod:`repro.analysis.classify`, which plays the role of the authors'
+manual categorization.  Each category's vocabulary therefore overlaps
+with the classifier's keyword rules, the way real service names do.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.ecosystem.categories import Category
+from repro.simcore.rng import Rng
+
+_BRAND_PREFIXES = [
+    "Aqua", "Nova", "Zen", "Blue", "Bright", "Echo", "Ever", "Flux", "Halo",
+    "Iris", "Jolt", "Kite", "Luma", "Mesa", "Nimbus", "Opal", "Pixel",
+    "Quanta", "Rove", "Sona", "Terra", "Ultra", "Vela", "Wisp", "Xeno",
+    "Yara", "Zephyr", "Alto", "Brio", "Cedar", "Delta", "Ember", "Fable",
+]
+
+#: Per-category noun vocabulary; aligned with Category.example_keywords.
+_CATEGORY_NOUNS: Dict[int, List[str]] = {
+    1: ["Light", "Camera", "Thermostat", "Lock", "Switch", "Plug", "Doorbell",
+        "Garage", "Sensor", "Sprinkler", "Blinds", "Vacuum", "Fridge", "Egg Tray"],
+    2: ["Hub", "Home Control", "Bridge", "Integration", "Station"],
+    3: ["Band", "Watch", "Tracker", "Fitness", "Sleep"],
+    4: ["Car", "Vehicle", "Drive", "Auto"],
+    5: ["Phone", "Android", "Battery", "NFC", "Wallpaper", "Ringtone"],
+    6: ["Drive", "Storage", "Backup", "File Vault"],
+    7: ["Weather", "News", "Stocks", "Sports", "Space", "Deals", "Video"],
+    8: ["Feed", "RSS", "Digest", "Recommendation"],
+    9: ["Notes", "Reminder", "Todo", "Calendar", "Tasks", "Journal", "List"],
+    10: ["Social", "Photo", "Blog", "Share", "Moments", "Stream"],
+    11: ["SMS", "Chat", "Messenger", "Team", "Call"],
+    12: ["Time", "Location", "Geofence", "Sunrise"],
+    13: ["Mail", "Email", "Inbox"],
+    14: ["Tools", "Utility", "Labs", "Box"],
+}
+
+#: Trigger verb templates per category (rendered with a noun).
+_TRIGGER_TEMPLATES: Dict[int, List[str]] = {
+    1: ["{noun} turned on", "{noun} turned off", "Motion detected by {noun}",
+        "{noun} state changed", "{noun} battery low"],
+    2: ["Any device event on {noun}", "Scene started on {noun}"],
+    3: ["Daily summary from {noun}", "Goal reached on {noun}", "New sleep logged"],
+    4: ["{noun} ignition on", "{noun} low fuel", "{noun} arrived home"],
+    5: ["Battery drops below level", "NFC tag scanned", "Phone call ended"],
+    6: ["New file in folder", "File updated"],
+    7: ["New story published", "Conditions change", "Score update"],
+    8: ["New feed item", "New recommendation"],
+    9: ["Reminder due", "New task added", "Calendar event starts"],
+    10: ["New post by you", "You are tagged", "New photo uploaded"],
+    11: ["New message received", "Missed call"],
+    12: ["Every day at", "You enter an area", "Sunrise"],
+    13: ["Any new email", "New email from", "New attachment"],
+    14: ["Event logged", "Button pressed"],
+}
+
+_ACTION_TEMPLATES: Dict[int, List[str]] = {
+    1: ["Turn {noun} on", "Turn {noun} off", "Set {noun} level", "Blink {noun}"],
+    2: ["Run a scene on {noun}", "Control a device via {noun}"],
+    3: ["Send notification to {noun}", "Log an activity"],
+    4: ["Precondition the {noun}"],
+    5: ["Send a notification", "Change wallpaper", "Set ringtone volume"],
+    6: ["Upload file", "Append to file"],
+    7: ["Save story for later"],
+    8: ["Add item to digest"],
+    9: ["Add a reminder", "Create a task", "Add calendar event", "Create a note"],
+    10: ["Create a post", "Share a photo", "Update status"],
+    11: ["Send a message", "Post to channel"],
+    12: [],
+    13: ["Send an email", "Send yourself an email"],
+    14: ["Log event", "Trigger webhook"],
+}
+
+
+def slugify(name: str) -> str:
+    """Lower-case, underscore-joined slug of a human name."""
+    return re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
+
+
+def service_name(cat: Category, index: int, rng: Rng) -> str:
+    """A brand-like service name whose vocabulary matches its category."""
+    prefix = _BRAND_PREFIXES[index % len(_BRAND_PREFIXES)]
+    nouns = _CATEGORY_NOUNS[cat.index]
+    noun = nouns[(index // len(_BRAND_PREFIXES)) % len(nouns)]
+    serial = index // (len(_BRAND_PREFIXES) * len(nouns))
+    suffix = f" {serial + 2}" if serial else ""
+    return f"{prefix} {noun}{suffix}"
+
+
+def trigger_names(cat: Category, service: str, count: int, rng: Rng) -> List[str]:
+    """``count`` distinct trigger names for one service."""
+    templates = _TRIGGER_TEMPLATES[cat.index] or ["Event on {noun}"]
+    noun = service.split()[-1] if service else "device"
+    names: List[str] = []
+    for i in range(count):
+        template = templates[i % len(templates)]
+        rendered = template.format(noun=noun)
+        serial = i // len(templates)
+        names.append(f"{rendered} #{serial + 2}" if serial else rendered)
+    return names
+
+
+def action_names(cat: Category, service: str, count: int, rng: Rng) -> List[str]:
+    """``count`` distinct action names for one service."""
+    templates = _ACTION_TEMPLATES[cat.index] or ["Do something with {noun}"]
+    noun = service.split()[-1] if service else "device"
+    names: List[str] = []
+    for i in range(count):
+        template = templates[i % len(templates)]
+        rendered = template.format(noun=noun)
+        serial = i // len(templates)
+        names.append(f"{rendered} #{serial + 2}" if serial else rendered)
+    return names
+
+
+def applet_name(trigger_name: str, trigger_service: str, action_name: str, action_service: str) -> str:
+    """An applet title in the crowdsourced style."""
+    return f"If {trigger_name} ({trigger_service}), then {action_name} ({action_service})"
+
+
+def service_description(cat: Category, name: str) -> str:
+    """A one-sentence service description mentioning category keywords.
+
+    The Table 1 category itself is deliberately *not* named: the keyword
+    classifier in :mod:`repro.analysis.classify` must recover it from the
+    vocabulary, the way the authors classified services manually.
+    """
+    keywords = ", ".join(cat.example_keywords[:3])
+    return f"{name} connects your {keywords} workflows to IFTTT."

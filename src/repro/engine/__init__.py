@@ -1,0 +1,83 @@
+"""The IFTTT engine (Figure 1, ❼) — the paper's system under test.
+
+This package implements the centralized trigger-action engine whose
+behaviour §4 measures:
+
+* :mod:`repro.engine.applet` — applets: a trigger reference, an action
+  reference, field parameters, and install metadata.
+* :mod:`repro.engine.engine` — the engine itself: service publication,
+  applet installation, the batched poll loop, event dedup, action
+  dispatch with ingredient templating, and the realtime-hint endpoint.
+* :mod:`repro.engine.poller` — polling-interval policies.  The production
+  policy reproduces the paper's long, highly variable polling delay
+  (T2A quartiles ≈ 58/84/122 s, tail to ~15 min); a 1 s fixed policy
+  reproduces experiment E3.
+* :mod:`repro.engine.oauth` — the OAuth2 authorization-code flow used to
+  connect user accounts to services, with tokens cached at the engine.
+* :mod:`repro.engine.permissions` — IFTTT's coarse service-level
+  permission grants and the finer-grained alternative §6 recommends.
+* :mod:`repro.engine.loops` — static (channel-graph) and runtime loop
+  detection; disabled by default, matching the measured IFTTT behaviour
+  ("no syntax check is performed").
+* :mod:`repro.engine.local` — a home-LAN local engine and a hybrid
+  scheduler, implementing §6's distributed-applet-execution proposal.
+"""
+
+from repro.engine.applet import Applet, TriggerRef, ActionRef, AppletState, QueryRef
+from repro.engine.config import EngineConfig
+from repro.engine.poller import (
+    PollingPolicy,
+    ProductionPollingPolicy,
+    FixedPollingPolicy,
+    AdaptivePollingPolicy,
+)
+from repro.engine.oauth import OAuthAuthority, OAuthGrant
+from repro.engine.engine import IftttEngine, ServiceRegistration
+from repro.engine.permissions import (
+    Scope,
+    ServicePermissionModel,
+    PerEndpointPermissionModel,
+    excess_privilege,
+)
+from repro.engine.loops import (
+    StaticLoopAnalyzer,
+    RuntimeLoopDetector,
+    LoopFinding,
+)
+from repro.engine.local import LocalEngine, HybridScheduler
+from repro.engine.filters import (
+    FilterSyntaxError,
+    FilterEvalError,
+    parse as parse_filter,
+    evaluate as evaluate_filter,
+)
+
+__all__ = [
+    "Applet",
+    "TriggerRef",
+    "ActionRef",
+    "AppletState",
+    "QueryRef",
+    "FilterSyntaxError",
+    "FilterEvalError",
+    "parse_filter",
+    "evaluate_filter",
+    "EngineConfig",
+    "PollingPolicy",
+    "ProductionPollingPolicy",
+    "FixedPollingPolicy",
+    "AdaptivePollingPolicy",
+    "OAuthAuthority",
+    "OAuthGrant",
+    "IftttEngine",
+    "ServiceRegistration",
+    "Scope",
+    "ServicePermissionModel",
+    "PerEndpointPermissionModel",
+    "excess_privilege",
+    "StaticLoopAnalyzer",
+    "RuntimeLoopDetector",
+    "LoopFinding",
+    "LocalEngine",
+    "HybridScheduler",
+]

@@ -1,0 +1,80 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.engine.poller import PollingPolicy, ProductionPollingPolicy
+
+#: Services whose realtime hints production IFTTT is observed to honour.
+#: §4: "it is likely that IFTTT ... processes the real-time API hints for
+#: some services (such as Alexa) with timing requirements ... When we use
+#: our own service to host Alexa, its latency becomes large."
+DEFAULT_REALTIME_ALLOWLIST: FrozenSet[str] = frozenset({"amazon_alexa", "google_assistant"})
+
+
+@dataclass
+class EngineConfig:
+    """Tunable engine behaviour.
+
+    The defaults model production IFTTT as the paper measured it; the E3
+    and §6-ablation experiments override individual knobs.
+
+    Attributes
+    ----------
+    poll_policy:
+        Prototype polling policy; each installed applet receives its own
+        :meth:`~repro.engine.poller.PollingPolicy.clone`.
+    batch_limit:
+        The ``limit`` sent in each poll — k in §4's batching discussion
+        (50 by default).
+    realtime_allowlist:
+        Service slugs whose realtime hints cause an immediate poll.
+        ``None`` means *honour every service's hints* (the push world §6
+        advocates); an empty set ignores all hints.
+    initial_poll_delay, initial_poll_jitter:
+        Delay between applet installation and the registration poll, plus
+        a uniform random extra of up to ``initial_poll_jitter`` seconds —
+        staggering large fleets so their polling phases decorrelate.
+    action_timeout, poll_timeout:
+        HTTP timeouts for engine-originated requests.
+    dedupe_window:
+        How many recent event ids the engine remembers per trigger
+        identity for deduplication.
+    static_loop_check:
+        Reject applet installs that would create a detectable loop.
+        Default False — the paper confirms production IFTTT performs no
+        such "syntax check".
+    runtime_loop_detection:
+        Attach a :class:`~repro.engine.loops.RuntimeLoopDetector` and
+        disable applets that trip it.  Default False (ditto).
+    runtime_loop_threshold, runtime_loop_window:
+        The runtime detector's rate limit: more than ``threshold``
+        executions of one applet within ``window`` seconds flags a loop.
+    """
+
+    poll_policy: PollingPolicy = field(default_factory=ProductionPollingPolicy)
+    batch_limit: int = 50
+    realtime_allowlist: Optional[FrozenSet[str]] = DEFAULT_REALTIME_ALLOWLIST
+    initial_poll_delay: float = 1.0
+    initial_poll_jitter: float = 0.0
+    action_timeout: float = 30.0
+    poll_timeout: float = 30.0
+    dedupe_window: int = 2000
+    static_loop_check: bool = False
+    runtime_loop_detection: bool = False
+    runtime_loop_threshold: int = 10
+    runtime_loop_window: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.batch_limit <= 0:
+            raise ValueError(f"batch_limit must be positive, got {self.batch_limit}")
+        if self.dedupe_window <= 0:
+            raise ValueError(f"dedupe_window must be positive, got {self.dedupe_window}")
+
+    def honours_realtime_for(self, service_slug: str) -> bool:
+        """Whether a realtime hint from this service triggers an immediate poll."""
+        if self.realtime_allowlist is None:
+            return True
+        return service_slug in self.realtime_allowlist

@@ -1,0 +1,565 @@
+"""The centralized IFTTT engine.
+
+Implements the online applet-execution phase exactly as §2.2 profiles it:
+
+* the engine periodically polls the trigger service — an HTTPS POST to the
+  trigger URL carrying the user's access token, the service key, and a
+  random request id, with a ``limit`` (batch size k, default 50);
+* the trigger service answers with buffered trigger events; the engine
+  deduplicates them by ``meta.id`` and, for each new event, contacts the
+  action URL;
+* realtime-API hints (``POST /ifttt/v1/webhooks/service/notify``) merely
+  *hint*; the engine "has full control over trigger event queries and very
+  likely ignores real-time API's hints" — honoured only for an allowlist
+  of services (Alexa-like), reproducing the A5-A7 vs A1-A4 latency gap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.engine.applet import Applet, ActionRef, AppletState, QueryRef, TriggerRef
+from repro.engine.filters import Expr, FilterEvalError, parse as parse_filter
+from repro.engine.config import EngineConfig
+from repro.engine.loops import RuntimeLoopDetector, StaticLoopAnalyzer, LoopError
+from repro.engine.oauth import OAuthAuthority, TokenCache
+from repro.engine.permissions import ServicePermissionModel
+from repro.engine.poller import PollingPolicy
+from repro.net.address import Address
+from repro.net.http import HttpNode, HttpRequest, HttpResponse
+from repro.services.partner import (
+    ACTION_PATH,
+    QUERY_PATH,
+    REALTIME_NOTIFY_PATH,
+    TRIGGER_PATH,
+    PartnerService,
+)
+from repro.simcore.rng import Rng
+from repro.simcore.trace import Trace
+
+
+@dataclass
+class ServiceRegistration:
+    """A published partner service, as the engine sees it."""
+
+    slug: str
+    address: Address
+    service_key: str
+    realtime: bool = False
+
+
+@dataclass
+class _AppletRuntime:
+    """Engine-internal per-applet execution state."""
+
+    applet: Applet
+    policy: PollingPolicy
+    filter_expr: Optional[Expr] = None
+    seen_ids: Set[int] = dataclass_field(default_factory=set)
+    seen_order: Deque[int] = dataclass_field(default_factory=deque)
+    poll_in_flight: bool = False
+    pending_poll_event: Any = None
+    polls: int = 0
+    last_poll_at: Optional[float] = None
+
+
+class IftttEngine(HttpNode):
+    """The trigger-action engine (a cloud HTTP node).
+
+    Typical wiring::
+
+        engine = IftttEngine(Address("engine.ifttt.cloud"), config, rng, trace)
+        network.add_node(engine)
+        key = engine.publish_service(hue_service)
+        engine.connect_service("alice", hue_service, hue_authority, "password")
+        applet = engine.install_applet("alice", "rain -> blue", trigger_ref, action_ref)
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        config: Optional[EngineConfig] = None,
+        rng: Optional[Rng] = None,
+        trace: Optional[Trace] = None,
+        service_time: float = 0.01,
+    ) -> None:
+        super().__init__(address, service_time=service_time)
+        self.config = config or EngineConfig()
+        self.rng = rng or Rng(seed=0, name="engine")
+        self.trace = trace
+        self.tokens = TokenCache()
+        self.permissions = ServicePermissionModel()
+        self._services: Dict[str, ServiceRegistration] = {}
+        self._service_objects: Dict[str, PartnerService] = {}
+        self._applets: Dict[int, _AppletRuntime] = {}
+        self._by_identity: Dict[str, List[int]] = {}
+        self._applet_ids = itertools.count(100000)
+        self._key_counter = itertools.count(1)
+        self.loop_detector = RuntimeLoopDetector(
+            threshold=self.config.runtime_loop_threshold,
+            window=self.config.runtime_loop_window,
+        )
+        self.realtime_hints_received = 0
+        self.realtime_hints_honoured = 0
+        self.polls_sent = 0
+        self.actions_dispatched = 0
+        self.poll_failures = 0
+        self.action_failures = 0
+        self.queries_sent = 0
+        self.query_failures = 0
+        self.filter_skips = 0
+        self.filter_errors = 0
+        self.add_route("POST", REALTIME_NOTIFY_PATH, self._handle_realtime_hint)
+
+    # -- service publication ------------------------------------------------------
+
+    def publish_service(self, service: PartnerService) -> str:
+        """Publish a partner service; issues and returns its service key.
+
+        Mirrors the onboarding in §2.2: the service exposes its base URL
+        and endpoints, and "IFTTT will generate for the service a key,
+        which will be embedded in future message exchanges".
+        """
+        if service.slug in self._services:
+            raise ValueError(f"service {service.slug!r} already published")
+        key = f"key-{service.slug}-{next(self._key_counter):04d}"
+        registration = ServiceRegistration(
+            slug=service.slug,
+            address=service.address,
+            service_key=key,
+            realtime=service.realtime,
+        )
+        self._services[service.slug] = registration
+        self._service_objects[service.slug] = service
+        service.published(self.address, key)
+        self.permissions.register_service(service.slug, service.trigger_slugs, service.action_slugs)
+        return key
+
+    def service_registration(self, slug: str) -> ServiceRegistration:
+        """Registration record for a published service."""
+        return self._services[slug]
+
+    @property
+    def published_slugs(self) -> List[str]:
+        """Slugs of all published services."""
+        return sorted(self._services)
+
+    # -- user connection (OAuth2) ---------------------------------------------------
+
+    def connect_service(
+        self,
+        user: str,
+        service: PartnerService,
+        authority: OAuthAuthority,
+        password: str,
+    ) -> str:
+        """Run the OAuth2 flow connecting ``user`` to ``service``.
+
+        The user authenticates at the provider's page (``authorize``), the
+        engine exchanges the code for a token, caches it, and the provider
+        marks it valid for API calls.  Returns the access token.
+        """
+        if service.slug not in self._services:
+            raise KeyError(f"service {service.slug!r} is not published")
+        code = authority.authorize(user, password)
+        grant = authority.exchange(code)
+        self.tokens.store(grant)
+        service.grant_token(grant.access_token)
+        self.permissions.grant_all_scopes(user, service.slug)
+        return grant.access_token
+
+    # -- applet lifecycle --------------------------------------------------------------
+
+    def install_applet(
+        self,
+        user: str,
+        name: str,
+        trigger: TriggerRef,
+        action: ActionRef,
+        author: Optional[str] = None,
+        extra_actions: Tuple[ActionRef, ...] = (),
+        queries: Tuple[QueryRef, ...] = (),
+        filter_code: Optional[str] = None,
+    ) -> Applet:
+        """Install and enable an applet for a user.
+
+        ``extra_actions``, ``queries``, and ``filter_code`` are the
+        multi-action / queries / conditions features (§6 future work);
+        filter code is validated (parsed) at install time, as the real
+        platform validates filter code at save time.
+
+        Raises ``KeyError`` for unpublished services,
+        :class:`~repro.engine.filters.FilterSyntaxError` for invalid
+        filter code, and :class:`~repro.engine.loops.LoopError` if static
+        loop checking is enabled and the new applet closes a channel
+        cycle.
+        """
+        referenced = [trigger.service_slug, action.service_slug]
+        referenced += [ref.service_slug for ref in extra_actions]
+        referenced += [ref.service_slug for ref in queries]
+        for slug in referenced:
+            if slug not in self._services:
+                raise KeyError(f"service {slug!r} is not published")
+        filter_expr = parse_filter(filter_code) if filter_code is not None else None
+        applet = Applet(
+            applet_id=next(self._applet_ids),
+            name=name,
+            user=user,
+            trigger=trigger,
+            action=action,
+            author=author,
+            extra_actions=tuple(extra_actions),
+            queries=tuple(queries),
+            filter_code=filter_code,
+        )
+        if self.config.static_loop_check:
+            analyzer = StaticLoopAnalyzer(self._service_objects)
+            cycle = analyzer.cycle_introduced_by(
+                [rt.applet for rt in self._applets.values() if rt.applet.user == user], applet
+            )
+            if cycle is not None:
+                raise LoopError(f"applet would create a loop: {[a.describe() for a in cycle]}")
+        runtime = _AppletRuntime(
+            applet=applet,
+            policy=self.config.poll_policy.clone(),
+            filter_expr=filter_expr,
+        )
+        self._applets[applet.applet_id] = runtime
+        self._by_identity.setdefault(applet.trigger_identity, []).append(applet.applet_id)
+        first_poll = self.config.initial_poll_delay
+        if self.config.initial_poll_jitter > 0:
+            first_poll += self.rng.uniform(0, self.config.initial_poll_jitter)
+        self.sim.schedule(
+            first_poll,
+            self._poll,
+            runtime,
+            label=f"initial-poll#{applet.applet_id}",
+        )
+        return applet
+
+    def applet(self, applet_id: int) -> Applet:
+        """Look up an installed applet."""
+        return self._applets[applet_id].applet
+
+    @property
+    def applets(self) -> List[Applet]:
+        """All installed applets."""
+        return [rt.applet for rt in self._applets.values()]
+
+    def disable_applet(self, applet_id: int) -> None:
+        """Stop polling for an applet (its pending poll timer is canceled)."""
+        runtime = self._applets[applet_id]
+        runtime.applet.state = AppletState.DISABLED
+        if runtime.pending_poll_event is not None:
+            runtime.pending_poll_event.cancel()
+            runtime.pending_poll_event = None
+
+    def enable_applet(self, applet_id: int) -> None:
+        """Re-enable a disabled applet and resume polling."""
+        runtime = self._applets[applet_id]
+        if runtime.applet.enabled:
+            return
+        runtime.applet.state = AppletState.ENABLED
+        self._schedule_next_poll(runtime, self.config.initial_poll_delay)
+
+    def uninstall_applet(self, applet_id: int) -> Applet:
+        """Remove an applet entirely: cancel polling, drop runtime state.
+
+        The trigger service keeps its identity buffer (services don't
+        learn about uninstalls synchronously in the real platform); the
+        engine simply stops asking.
+        """
+        runtime = self._applets.pop(applet_id, None)
+        if runtime is None:
+            raise KeyError(f"no applet {applet_id}")
+        runtime.applet.state = AppletState.DISABLED
+        if runtime.pending_poll_event is not None:
+            runtime.pending_poll_event.cancel()
+            runtime.pending_poll_event = None
+        identity = runtime.applet.trigger_identity
+        owners = self._by_identity.get(identity, [])
+        if applet_id in owners:
+            owners.remove(applet_id)
+        if not owners:
+            self._by_identity.pop(identity, None)
+        return runtime.applet
+
+    def poll_count(self, applet_id: int) -> int:
+        """How many polls the engine has sent for an applet."""
+        return self._applets[applet_id].polls
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the engine's counters (for CLIs and dashboards)."""
+        return {
+            "services": len(self._services),
+            "applets": len(self._applets),
+            "applets_enabled": sum(1 for rt in self._applets.values() if rt.applet.enabled),
+            "polls_sent": self.polls_sent,
+            "poll_failures": self.poll_failures,
+            "actions_dispatched": self.actions_dispatched,
+            "action_failures": self.action_failures,
+            "queries_sent": self.queries_sent,
+            "query_failures": self.query_failures,
+            "filter_skips": self.filter_skips,
+            "filter_errors": self.filter_errors,
+            "realtime_hints_received": self.realtime_hints_received,
+            "realtime_hints_honoured": self.realtime_hints_honoured,
+        }
+
+    # -- the poll loop ----------------------------------------------------------------
+
+    def _schedule_next_poll(self, runtime: _AppletRuntime, delay: float) -> None:
+        if not runtime.applet.enabled:
+            return
+        if runtime.pending_poll_event is not None:
+            runtime.pending_poll_event.cancel()
+        runtime.pending_poll_event = self.sim.schedule(
+            delay, self._poll, runtime, label=f"poll#{runtime.applet.applet_id}"
+        )
+
+    def _poll(self, runtime: _AppletRuntime) -> None:
+        runtime.pending_poll_event = None
+        applet = runtime.applet
+        if not applet.enabled or runtime.poll_in_flight:
+            return
+        registration = self._services[applet.trigger.service_slug]
+        token = self.tokens.lookup(applet.user, applet.trigger.service_slug)
+        runtime.poll_in_flight = True
+        runtime.polls += 1
+        runtime.last_poll_at = self.now
+        self.polls_sent += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                "engine",
+                "engine_poll_sent",
+                applet_id=applet.applet_id,
+                identity=applet.trigger_identity,
+                trigger=applet.trigger.trigger_slug,
+            )
+        self.post(
+            registration.address,
+            TRIGGER_PATH + applet.trigger.trigger_slug,
+            body={
+                "trigger_identity": applet.trigger_identity,
+                "triggerFields": dict(applet.trigger.fields),
+                "limit": self.config.batch_limit,
+                "request_id": f"req-{self.rng.randint(10**8, 10**9 - 1)}",
+            },
+            headers=self._auth_headers(registration, applet.user),
+            on_response=lambda response, rt=runtime: self._on_poll_response(rt, response),
+            timeout=self.config.poll_timeout,
+        )
+
+    def _auth_headers(self, registration: ServiceRegistration, user: str) -> Dict[str, Any]:
+        headers: Dict[str, Any] = {"IFTTT-Service-Key": registration.service_key}
+        token = self.tokens.lookup(user, registration.slug)
+        if token is not None:
+            headers["Authorization"] = f"Bearer {token}"
+        return headers
+
+    def _on_poll_response(self, runtime: _AppletRuntime, response: HttpResponse) -> None:
+        runtime.poll_in_flight = False
+        applet = runtime.applet
+        new_events: List[Dict[str, Any]] = []
+        if response.ok:
+            wire_events = (response.body or {}).get("data", [])
+            # The wire carries newest-first; process in chronological order.
+            for wire in reversed(wire_events):
+                event_id = wire["meta"]["id"]
+                if event_id in runtime.seen_ids:
+                    continue
+                self._remember_event(runtime, event_id)
+                new_events.append(wire)
+        else:
+            self.poll_failures += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                "engine",
+                "engine_poll_response",
+                applet_id=applet.applet_id,
+                status=response.status,
+                returned=len((response.body or {}).get("data", [])) if response.ok else 0,
+                new=len(new_events),
+            )
+        runtime.policy.observe_events(len(new_events))
+        for wire in new_events:
+            self._process_event(runtime, wire)
+        self._schedule_next_poll(runtime, runtime.policy.next_interval(self.rng))
+
+    def _remember_event(self, runtime: _AppletRuntime, event_id: int) -> None:
+        runtime.seen_ids.add(event_id)
+        runtime.seen_order.append(event_id)
+        while len(runtime.seen_order) > self.config.dedupe_window:
+            oldest = runtime.seen_order.popleft()
+            runtime.seen_ids.discard(oldest)
+
+    # -- event processing: queries -> condition -> actions ----------------------------------
+
+    def _process_event(self, runtime: _AppletRuntime, wire_event: Dict[str, Any]) -> None:
+        """Run one trigger event through queries, the filter, and actions."""
+        applet = runtime.applet
+        if applet.queries:
+            self._run_queries(runtime, wire_event, list(applet.queries), {})
+        else:
+            self._finish_event(runtime, wire_event, {})
+
+    def _run_queries(
+        self,
+        runtime: _AppletRuntime,
+        wire_event: Dict[str, Any],
+        remaining: List[QueryRef],
+        results: Dict[str, Any],
+    ) -> None:
+        if not remaining:
+            self._finish_event(runtime, wire_event, results)
+            return
+        query = remaining[0]
+        registration = self._services[query.service_slug]
+        self.queries_sent += 1
+
+        def on_response(response, q=query):
+            if response.ok:
+                results[q.query_slug] = (response.body or {}).get("data", [])
+            else:
+                self.query_failures += 1
+                results[q.query_slug] = []
+            self._run_queries(runtime, wire_event, remaining[1:], results)
+
+        self.post(
+            registration.address,
+            QUERY_PATH + query.query_slug,
+            body={"queryFields": dict(query.fields), "user": runtime.applet.user},
+            headers=self._auth_headers(registration, runtime.applet.user),
+            on_response=on_response,
+            timeout=self.config.poll_timeout,
+        )
+
+    def _finish_event(
+        self,
+        runtime: _AppletRuntime,
+        wire_event: Dict[str, Any],
+        query_results: Dict[str, Any],
+    ) -> None:
+        applet = runtime.applet
+        ingredients = wire_event.get("ingredients", {})
+        if runtime.filter_expr is not None:
+            # Single-row query results flatten to the row dict so filter
+            # code can say ``queries.thermostat.temperature < 25``.
+            flattened = {
+                slug: (rows[0] if isinstance(rows, list) and len(rows) == 1 else rows)
+                for slug, rows in query_results.items()
+            }
+            namespace = {
+                "trigger": dict(ingredients),
+                "queries": flattened,
+                "meta": {"time": self.now, "applet_id": applet.applet_id},
+            }
+            try:
+                verdict = bool(runtime.filter_expr.evaluate(namespace))
+            except FilterEvalError:
+                self.filter_errors += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        self.now, "engine", "engine_filter_error",
+                        applet_id=applet.applet_id,
+                    )
+                return
+            if not verdict:
+                self.filter_skips += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        self.now, "engine", "engine_filter_skipped",
+                        applet_id=applet.applet_id,
+                        event_id=wire_event["meta"]["id"],
+                    )
+                return
+        for action in (applet.action, *applet.extra_actions):
+            self._dispatch_action(runtime, action, wire_event)
+
+    # -- action dispatch ------------------------------------------------------------------
+
+    def _dispatch_action(
+        self, runtime: _AppletRuntime, action: ActionRef, wire_event: Dict[str, Any]
+    ) -> None:
+        applet = runtime.applet
+        registration = self._services[action.service_slug]
+        ingredients = wire_event.get("ingredients", {})
+        fields = action.resolve_fields(ingredients)
+        applet.executions += 1
+        self.actions_dispatched += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                "engine",
+                "engine_action_sent",
+                applet_id=applet.applet_id,
+                event_id=wire_event["meta"]["id"],
+                action=action.action_slug,
+                service=action.service_slug,
+            )
+        if self.config.runtime_loop_detection:
+            if self.loop_detector.observe(applet.applet_id, self.now):
+                self.disable_applet(applet.applet_id)
+                if self.trace is not None:
+                    self.trace.record(
+                        self.now,
+                        "engine",
+                        "engine_loop_killswitch",
+                        applet_id=applet.applet_id,
+                    )
+                return
+        self.post(
+            registration.address,
+            ACTION_PATH + action.action_slug,
+            body={"actionFields": fields, "user": applet.user},
+            headers=self._auth_headers(registration, applet.user),
+            on_response=lambda response, a=applet: self._on_action_response(a, response),
+            timeout=self.config.action_timeout,
+        )
+
+    def _on_action_response(self, applet: Applet, response: HttpResponse) -> None:
+        if not response.ok:
+            self.action_failures += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                "engine",
+                "engine_action_ack",
+                applet_id=applet.applet_id,
+                status=response.status,
+            )
+
+    # -- realtime API -------------------------------------------------------------------------
+
+    def _handle_realtime_hint(self, request: HttpRequest):
+        self.realtime_hints_received += 1
+        service_slug = request.header("service_slug", "")
+        honoured = self.config.honours_realtime_for(service_slug)
+        identities = [
+            entry.get("trigger_identity") for entry in (request.body or {}).get("data", [])
+        ]
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                "engine",
+                "engine_realtime_hint",
+                service=service_slug,
+                honoured=honoured,
+                identities=len(identities),
+            )
+        if honoured:
+            self.realtime_hints_honoured += 1
+            for identity in identities:
+                for applet_id in self._by_identity.get(identity, ()):
+                    runtime = self._applets[applet_id]
+                    if runtime.applet.enabled and not runtime.poll_in_flight:
+                        self._schedule_next_poll(runtime, 0.0)
+        return {"status": "received"}
+
+    def __repr__(self) -> str:
+        return f"<IftttEngine services={len(self._services)} applets={len(self._applets)}>"

@@ -1,0 +1,289 @@
+"""A safe filter expression language for conditional applets.
+
+The paper closes with "We plan to study future IFTTT features such as
+queries and conditions" (§6, citing [25]).  IFTTT later shipped exactly
+that: *filter code* deciding whether an applet's action runs, over the
+trigger's ingredients and query results.  This module implements a small,
+safe expression language for those conditions — no ``eval``, no host
+access, just a tokenizer, a recursive-descent parser, and an evaluator
+over a value namespace.
+
+Grammar (usual precedence, lowest first)::
+
+    expr   := or
+    or     := and ("or" and)*
+    and    := unary ("and" unary)*
+    unary  := "not" unary | cmp
+    cmp    := term (OP term)?          OP: == != < <= > >= contains
+                                           startswith endswith matches
+    term   := STRING | NUMBER | true | false | null
+            | NAME ("." NAME)*        dotted lookup in the namespace
+            | "(" expr ")"
+
+Example::
+
+    >>> expr = parse("trigger.temperature > 25 and trigger.room == 'kitchen'")
+    >>> expr.evaluate({"trigger": {"temperature": 30.0, "room": "kitchen"}})
+    True
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+
+class FilterSyntaxError(ValueError):
+    """The filter source failed to tokenize or parse."""
+
+
+class FilterEvalError(RuntimeError):
+    """The filter parsed but could not be evaluated against the namespace."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<op>==|!=|<=|>=|<|>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "true", "false", "null",
+             "contains", "startswith", "endswith", "matches"}
+
+_WORD_OPS = {"contains", "startswith", "endswith", "matches"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "number" | "string" | "op" | "lparen" | "rparen" | "name" | keyword
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> List[_Token]:
+    """Split filter source into tokens; raises on unknown characters."""
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise FilterSyntaxError(
+                f"unexpected character {source[position]!r} at offset {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        text = match.group()
+        if kind == "name" and text in _KEYWORDS:
+            kind = text if "." not in text else kind
+        tokens.append(_Token(kind=kind, text=text, position=match.start()))
+    return tokens
+
+
+# -- AST ------------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, namespace: Dict[str, Any]) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Lookup:
+    """A dotted name resolved against the namespace."""
+
+    path: Tuple[str, ...]
+
+    def evaluate(self, namespace: Dict[str, Any]) -> Any:
+        value: Any = namespace
+        for part in self.path:
+            if isinstance(value, dict) and part in value:
+                value = value[part]
+            else:
+                raise FilterEvalError(f"unknown name {'.'.join(self.path)!r}")
+        return value
+
+
+@dataclass(frozen=True)
+class Compare:
+    """A binary comparison."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def evaluate(self, namespace: Dict[str, Any]) -> bool:
+        left = self.left.evaluate(namespace)
+        right = self.right.evaluate(namespace)
+        try:
+            if self.op == "==":
+                return left == right
+            if self.op == "!=":
+                return left != right
+            if self.op == "<":
+                return left < right
+            if self.op == "<=":
+                return left <= right
+            if self.op == ">":
+                return left > right
+            if self.op == ">=":
+                return left >= right
+            if self.op == "contains":
+                return str(right) in str(left) if not isinstance(left, (list, tuple)) else right in left
+            if self.op == "startswith":
+                return str(left).startswith(str(right))
+            if self.op == "endswith":
+                return str(left).endswith(str(right))
+            if self.op == "matches":
+                return re.search(str(right), str(left)) is not None
+        except TypeError as exc:
+            raise FilterEvalError(f"cannot apply {self.op!r}: {exc}") from exc
+        except re.error as exc:
+            raise FilterEvalError(f"bad regex in 'matches': {exc}") from exc
+        raise FilterEvalError(f"unknown operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Not:
+    """Logical negation."""
+
+    operand: "Expr"
+
+    def evaluate(self, namespace: Dict[str, Any]) -> bool:
+        return not _truthy(self.operand.evaluate(namespace))
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """Short-circuiting and/or chain."""
+
+    op: str  # "and" | "or"
+    operands: Tuple["Expr", ...]
+
+    def evaluate(self, namespace: Dict[str, Any]) -> bool:
+        if self.op == "and":
+            return all(_truthy(operand.evaluate(namespace)) for operand in self.operands)
+        return any(_truthy(operand.evaluate(namespace)) for operand in self.operands)
+
+
+Expr = Union[Literal, Lookup, Compare, Not, BoolOp]
+
+
+def _truthy(value: Any) -> bool:
+    return bool(value)
+
+
+# -- parser ----------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], source: str) -> None:
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    def peek(self) -> Optional[_Token]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise FilterSyntaxError(f"unexpected end of filter: {self.source!r}")
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.advance()
+        if token.kind != kind:
+            raise FilterSyntaxError(
+                f"expected {kind} at offset {token.position}, got {token.text!r}"
+            )
+        return token
+
+    def parse(self) -> Expr:
+        expr = self.parse_or()
+        leftover = self.peek()
+        if leftover is not None:
+            raise FilterSyntaxError(
+                f"unexpected trailing {leftover.text!r} at offset {leftover.position}"
+            )
+        return expr
+
+    def parse_or(self) -> Expr:
+        operands = [self.parse_and()]
+        while self.peek() is not None and self.peek().kind == "or":
+            self.advance()
+            operands.append(self.parse_and())
+        return operands[0] if len(operands) == 1 else BoolOp("or", tuple(operands))
+
+    def parse_and(self) -> Expr:
+        operands = [self.parse_unary()]
+        while self.peek() is not None and self.peek().kind == "and":
+            self.advance()
+            operands.append(self.parse_unary())
+        return operands[0] if len(operands) == 1 else BoolOp("and", tuple(operands))
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token is not None and token.kind == "not":
+            self.advance()
+            return Not(self.parse_unary())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_term()
+        token = self.peek()
+        if token is not None and (token.kind == "op" or token.kind in _WORD_OPS):
+            self.advance()
+            right = self.parse_term()
+            return Compare(token.text, left, right)
+        return left
+
+    def parse_term(self) -> Expr:
+        token = self.advance()
+        if token.kind == "number":
+            value = float(token.text)
+            return Literal(int(value) if value.is_integer() else value)
+        if token.kind == "string":
+            return Literal(token.text[1:-1])
+        if token.kind == "true":
+            return Literal(True)
+        if token.kind == "false":
+            return Literal(False)
+        if token.kind == "null":
+            return Literal(None)
+        if token.kind == "name":
+            return Lookup(tuple(token.text.split(".")))
+        if token.kind == "lparen":
+            inner = self.parse_or()
+            self.expect("rparen")
+            return inner
+        raise FilterSyntaxError(
+            f"unexpected {token.text!r} at offset {token.position}"
+        )
+
+
+def parse(source: str) -> Expr:
+    """Parse filter source into an evaluable expression tree."""
+    if not source or not source.strip():
+        raise FilterSyntaxError("empty filter expression")
+    return _Parser(tokenize(source), source).parse()
+
+
+def evaluate(source: str, namespace: Dict[str, Any]) -> bool:
+    """One-shot parse + evaluate, returning a boolean verdict."""
+    return _truthy(parse(source).evaluate(namespace))

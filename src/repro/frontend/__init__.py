@@ -1,0 +1,23 @@
+"""Simulated ifttt.com frontend.
+
+Renders the pages the paper's crawler scraped — the partner-service index
+page, per-service pages, and per-applet pages addressed by six-digit
+applet id — from a :class:`~repro.ecosystem.corpus.Corpus`, as of any
+study week.  The page structure mirrors what the paper reverse-engineered
+(§3.1): applet pages expose name, description, trigger, trigger service,
+action, action service, author, and add count.
+"""
+
+from repro.frontend.pages import (
+    render_index_page,
+    render_service_page,
+    render_applet_page,
+)
+from repro.frontend.site import SimulatedIftttSite
+
+__all__ = [
+    "render_index_page",
+    "render_service_page",
+    "render_applet_page",
+    "SimulatedIftttSite",
+]

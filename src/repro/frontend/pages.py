@@ -1,0 +1,75 @@
+"""HTML rendering of ifttt.com-style pages."""
+
+from __future__ import annotations
+
+import html
+from typing import Iterable
+
+from repro.ecosystem.corpus import AppletRecord, ServiceRecord
+
+
+def render_index_page(services: Iterable[ServiceRecord]) -> str:
+    """The partner-service index page: one link per service."""
+    items = "\n".join(
+        f'    <li><a class="service-link" href="/services/{s.slug}">{html.escape(s.name)}</a></li>'
+        for s in sorted(services, key=lambda s: s.slug)
+    )
+    return (
+        "<!DOCTYPE html>\n<html>\n<head><title>IFTTT Services</title></head>\n"
+        "<body>\n  <h1>All services</h1>\n  <ul class=\"services\">\n"
+        f"{items}\n  </ul>\n</body>\n</html>\n"
+    )
+
+
+def render_service_page(service: ServiceRecord, week: int) -> str:
+    """One service's page: description plus trigger and action lists."""
+    triggers = "\n".join(
+        f'      <li class="trigger" data-slug="{t.slug}">{html.escape(t.name)}</li>'
+        for t in service.triggers
+        if t.created_week <= week
+    )
+    actions = "\n".join(
+        f'      <li class="action" data-slug="{a.slug}">{html.escape(a.name)}</li>'
+        for a in service.actions
+        if a.created_week <= week
+    )
+    return (
+        "<!DOCTYPE html>\n<html>\n"
+        f"<head><title>{html.escape(service.name)} - IFTTT</title></head>\n"
+        "<body>\n"
+        f'  <h1 class="service-name">{html.escape(service.name)}</h1>\n'
+        f'  <p class="service-description">{html.escape(service.description)}</p>\n'
+        '  <h2>Triggers</h2>\n  <ul class="triggers">\n'
+        f"{triggers}\n  </ul>\n"
+        '  <h2>Actions</h2>\n  <ul class="actions">\n'
+        f"{actions}\n  </ul>\n"
+        "</body>\n</html>\n"
+    )
+
+
+def render_applet_page(
+    applet: AppletRecord,
+    trigger_name: str,
+    trigger_service_name: str,
+    action_name: str,
+    action_service_name: str,
+    add_count: int,
+) -> str:
+    """One applet's page, exposing the fields the crawler extracts (§3.1)."""
+    author_kind = "user" if applet.author_is_user else "service"
+    return (
+        "<!DOCTYPE html>\n<html>\n"
+        f"<head><title>{html.escape(applet.name)} - IFTTT</title></head>\n"
+        "<body>\n"
+        f'  <h1 class="applet-name">{html.escape(applet.name)}</h1>\n'
+        f'  <p class="applet-description">{html.escape(applet.description)}</p>\n'
+        '  <dl class="applet-meta">\n'
+        f'    <dt>Trigger</dt><dd class="trigger-name" data-slug="{applet.trigger_slug}">{html.escape(trigger_name)}</dd>\n'
+        f'    <dt>Trigger service</dt><dd class="trigger-service" data-slug="{applet.trigger_service_slug}">{html.escape(trigger_service_name)}</dd>\n'
+        f'    <dt>Action</dt><dd class="action-name" data-slug="{applet.action_slug}">{html.escape(action_name)}</dd>\n'
+        f'    <dt>Action service</dt><dd class="action-service" data-slug="{applet.action_service_slug}">{html.escape(action_service_name)}</dd>\n'
+        f'    <dt>Author</dt><dd class="author" data-kind="{author_kind}">{html.escape(applet.author)}</dd>\n'
+        f'    <dt>Add count</dt><dd class="add-count">{add_count}</dd>\n'
+        "  </dl>\n"
+        "</body>\n</html>\n"
+    )

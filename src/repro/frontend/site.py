@@ -1,0 +1,80 @@
+"""The simulated site: URL-addressed access to rendered pages."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ecosystem.corpus import Corpus
+from repro.frontend.pages import render_applet_page, render_index_page, render_service_page
+
+
+class SimulatedIftttSite:
+    """ifttt.com as of any study week.
+
+    ``fetch(path, week)`` returns the page HTML or ``None`` (a 404) —
+    exactly the interface a polite HTTP crawler sees.  Applet URLs use
+    the six-digit id scheme the paper reverse-engineered:
+    ``/applets/<id>``.
+    """
+
+    def __init__(self, corpus: Corpus) -> None:
+        self.corpus = corpus
+        self._trigger_names: Dict[str, str] = {}
+        self._action_names: Dict[str, str] = {}
+        for service in corpus.services.values():
+            for trigger in service.triggers:
+                self._trigger_names[trigger.slug] = trigger.name
+            for action in service.actions:
+                self._action_names[action.slug] = action.name
+        self.requests_served = 0
+        self.not_found = 0
+
+    # -- the crawler-facing interface ---------------------------------------------
+
+    def fetch(self, path: str, week: Optional[int] = None) -> Optional[str]:
+        """Fetch one URL path; ``None`` plays the role of a 404."""
+        self.requests_served += 1
+        if week is None:
+            week = self.corpus.final_week
+        if path in ("/services", "/services/"):
+            return render_index_page(self.corpus.services_at(week))
+        if path.startswith("/services/"):
+            return self._service_page(path[len("/services/"):], week)
+        if path.startswith("/applets/"):
+            return self._applet_page(path[len("/applets/"):], week)
+        self.not_found += 1
+        return None
+
+    def applet_id_bounds(self) -> Tuple[int, int]:
+        """The id range a crawler must enumerate."""
+        return self.corpus.applet_id_bounds()
+
+    # -- internals --------------------------------------------------------------------
+
+    def _service_page(self, slug: str, week: int) -> Optional[str]:
+        service = self.corpus.services.get(slug.strip("/"))
+        if service is None or service.created_week > week:
+            self.not_found += 1
+            return None
+        return render_service_page(service, week)
+
+    def _applet_page(self, raw_id: str, week: int) -> Optional[str]:
+        try:
+            applet_id = int(raw_id.strip("/"))
+        except ValueError:
+            self.not_found += 1
+            return None
+        applet = self.corpus.applets.get(applet_id)
+        if applet is None or applet.created_week > week:
+            self.not_found += 1
+            return None
+        trigger_service = self.corpus.services[applet.trigger_service_slug]
+        action_service = self.corpus.services[applet.action_service_slug]
+        return render_applet_page(
+            applet,
+            trigger_name=self._trigger_names.get(applet.trigger_slug, applet.trigger_slug),
+            trigger_service_name=trigger_service.name,
+            action_name=self._action_names.get(applet.action_slug, applet.action_slug),
+            action_service_name=action_service.name,
+            add_count=applet.add_count_at(week, self.corpus.final_week),
+        )

@@ -1,0 +1,47 @@
+"""Smart-home device models (Figure 1 of the paper, items ❶-❹).
+
+The paper's testbed used four off-the-shelf devices — Philips Hue lights,
+a WeMo light switch, an Amazon Echo Dot, and a Samsung SmartThings hub —
+plus a home gateway router and a custom local proxy bridging LAN-only
+devices to the authors' partner-service server.  This package models each
+of them as network nodes speaking the corresponding protocol shape:
+
+* Hue lamp ↔ Hue hub over a Zigbee-like link; the hub exposes the Hue
+  RESTful Web API on the LAN (:mod:`repro.iot.hue`).
+* WeMo switch controlled over UPnP-style subscribe/notify
+  (:mod:`repro.iot.wemo`).
+* Echo Dot streaming voice to the Alexa cloud (:mod:`repro.iot.alexa`).
+* SmartThings hub multiplexing generic Z-Wave-ish devices
+  (:mod:`repro.iot.smartthings`).
+* Nest thermostat reporting directly to its cloud (:mod:`repro.iot.nest`).
+* The local proxy (❸) and gateway router (❹) of the testbed
+  (:mod:`repro.iot.proxy`, :mod:`repro.iot.gateway`).
+"""
+
+from repro.iot.device import Device, DeviceError
+from repro.iot.hue import HueLamp, HueHub
+from repro.iot.wemo import WemoSwitch
+from repro.iot.alexa import EchoDevice, AlexaCloud
+from repro.iot.smartthings import SmartThingsHub, GenericDevice
+from repro.iot.nest import NestThermostat
+from repro.iot.proxy import LocalProxy
+from repro.iot.gateway import GatewayRouter
+from repro.iot.registry import DeviceType, DEVICE_CATALOG, device_types_by_category
+
+__all__ = [
+    "Device",
+    "DeviceError",
+    "HueLamp",
+    "HueHub",
+    "WemoSwitch",
+    "EchoDevice",
+    "AlexaCloud",
+    "SmartThingsHub",
+    "GenericDevice",
+    "NestThermostat",
+    "LocalProxy",
+    "GatewayRouter",
+    "DeviceType",
+    "DEVICE_CATALOG",
+    "device_types_by_category",
+]

@@ -1,0 +1,31 @@
+"""The home gateway router (Figure 1, ❹).
+
+The gateway is a pure topology element: every path between the home LAN
+and the internet crosses it, so LAN-only devices are unreachable from the
+WAN except through nodes (like the local proxy) that initiate outbound
+connections — mirroring the NAT-ish constraint that forced the paper's
+authors to deploy a proxy inside the home LAN (§2.1).
+"""
+
+from __future__ import annotations
+
+from repro.net.address import Address
+from repro.net.node import Node
+
+
+class GatewayRouter(Node):
+    """A forwarding-only node joining the LAN and WAN sides.
+
+    Routing is handled by the network layer; the gateway exists so that
+    topologies place a distinct hop (with WAN latency on its uplink)
+    between home devices and cloud entities, and so per-home traffic can
+    be accounted at a single point.
+    """
+
+    def __init__(self, address: Address) -> None:
+        super().__init__(address)
+
+    def on_message(self, message) -> None:
+        # End-system traffic addressed *to* the gateway itself is
+        # management noise in this model; count and drop it.
+        pass

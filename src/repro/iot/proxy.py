@@ -1,0 +1,146 @@
+"""The local proxy (Figure 1, ❸).
+
+Most home devices only accept control from hosts on the same LAN, so the
+paper deployed a proxy inside the home that (a) subscribes to device
+events and pushes them out to the authors' partner-service server over a
+custom protocol, and (b) accepts action commands from that server and
+translates them to each device's native API (Hue REST, UPnP, ...).
+
+The proxy is a primary measurement vantage point: Table 5's rows
+"Proxy ❸ observes the trigger event" (t=0.04) and "❸ receives the
+confirmation from trigger service ❺" (t=0.16) are trace records written
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.net.address import Address
+from repro.net.http import HttpNode, HttpRequest, HttpResponse
+from repro.net.message import Message
+from repro.simcore.trace import Trace
+
+from repro.iot.wemo import UPNP
+
+
+class LocalProxy(HttpNode):
+    """Bridges LAN-only devices to a WAN partner-service server.
+
+    Upstream: every device event the proxy observes is forwarded as
+    ``POST <service>/proxy/event`` and the service's confirmation is
+    traced (Table 5).
+
+    Downstream: the service sends ``POST /proxy/command`` with a
+    ``target`` naming a bridged device; the proxy translates to the
+    device's native protocol.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        service_server: Address,
+        trace: Optional[Trace] = None,
+        service_time: float = 0.002,
+    ) -> None:
+        super().__init__(address, service_time=service_time)
+        self.service_server = service_server
+        self.trace = trace
+        self._hue_hub: Optional[Address] = None
+        self._smartthings_hub: Optional[Address] = None
+        self._wemo_switches: Dict[str, Address] = {}
+        self.events_forwarded = 0
+        self.commands_executed = 0
+        self.add_route("POST", "/events/hue", self._handle_hub_event)
+        self.add_route("POST", "/events/smartthings", self._handle_hub_event)
+        self.add_route("POST", "/proxy/command", self._handle_command)
+
+    # -- bridging setup --------------------------------------------------------
+
+    def bridge_hue_hub(self, hub: Address) -> None:
+        """Subscribe to a Hue hub's event push."""
+        self._hue_hub = hub
+        self.post(hub, "/api/subscribe", body={"callback": self.address.host})
+
+    def bridge_smartthings_hub(self, hub: Address) -> None:
+        """Subscribe to a SmartThings hub's event push."""
+        self._smartthings_hub = hub
+        self.post(hub, "/api/subscribe", body={"callback": self.address.host})
+
+    def bridge_wemo(self, device_id: str, switch: Address) -> None:
+        """UPnP-subscribe to a WeMo switch."""
+        self._wemo_switches[device_id] = switch
+        self.send(switch, UPNP, {"type": "subscribe", "callback": self.address.host}, size_bytes=64)
+
+    # -- upstream: device events -> service server ----------------------------
+
+    def _handle_hub_event(self, request: HttpRequest):
+        self._forward_event(dict(request.body or {}))
+        return {"ok": True}
+
+    def on_non_http_message(self, message: Message) -> None:
+        if message.protocol != UPNP:
+            return
+        payload = message.payload
+        if payload.get("event"):  # a device event push (UPnP NOTIFY)
+            self._forward_event(dict(payload))
+
+    def _forward_event(self, event: Dict[str, Any]) -> None:
+        self.events_forwarded += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                "proxy",
+                "proxy_observed_event",
+                device_id=event.get("device_id"),
+                event=event.get("event"),
+            )
+        self.post(
+            self.service_server,
+            "/proxy/event",
+            body=event,
+            on_response=self._on_service_confirmation,
+            timeout=10.0,
+        )
+
+    def _on_service_confirmation(self, response: HttpResponse) -> None:
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                "proxy",
+                "proxy_confirmed" if response.ok else "proxy_confirm_failed",
+                status=response.status,
+            )
+
+    # -- downstream: service commands -> devices --------------------------------
+
+    def _handle_command(self, request: HttpRequest):
+        body = request.body or {}
+        target = body.get("target")
+        self.commands_executed += 1
+        if self.trace is not None:
+            self.trace.record(self.now, "proxy", "proxy_command", target=target)
+        if target == "hue":
+            if self._hue_hub is None:
+                return 503, {"error": "no hue hub bridged"}
+            self.put_lamp_state(body["lamp_id"], body["command"])
+        elif target == "wemo":
+            switch = self._wemo_switches.get(body["device_id"])
+            if switch is None:
+                return 503, {"error": f"wemo {body.get('device_id')!r} not bridged"}
+            self.send(switch, UPNP, {"type": "set_binary_state", "on": bool(body["on"])}, size_bytes=64)
+        elif target == "smartthings":
+            if self._smartthings_hub is None:
+                return 503, {"error": "no smartthings hub bridged"}
+            self.post(
+                self._smartthings_hub,
+                f"/api/devices/{body['device_id']}/command",
+                body={"value": body["value"]},
+            )
+        else:
+            return 400, {"error": f"unknown target {target!r}"}
+        return {"dispatched": target}
+
+    def put_lamp_state(self, lamp_id: str, command: Dict[str, Any]) -> None:
+        """Issue a Hue REST state change to the bridged hub."""
+        self.request(self._hue_hub, "PUT", f"/api/lights/{lamp_id}/state", body=dict(command))

@@ -1,0 +1,65 @@
+"""Belkin WeMo light switch.
+
+The WeMo has no hub: it sits on the LAN itself and speaks a UPnP-style
+protocol — a SOAP-ish control endpoint plus GENA-style event subscription
+(subscribe once, get NOTIFY callbacks on each state change).  The paper's
+local proxy talks to it exactly this way (§2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.iot.device import Device, DeviceError
+from repro.net.address import Address
+from repro.net.message import Message
+from repro.simcore.trace import Trace
+
+UPNP = "upnp"
+
+
+class WemoSwitch(Device):
+    """A smart wall switch with a single binary state.
+
+    Besides remote control, the physical toggle (:meth:`press`) models a
+    person flipping the switch — that is the trigger event in applets A1,
+    A2, and A6.
+    """
+
+    KIND = "wemo_switch"
+    EVENT_PROTOCOL = UPNP
+
+    def __init__(self, address: Address, device_id: str, trace: Optional[Trace] = None) -> None:
+        super().__init__(address, device_id, trace=trace, initial_state={"on": False})
+
+    def press(self) -> bool:
+        """Physically toggle the switch; returns the new state."""
+        self.actuations += 1
+        new_state = not self.get_state("on", False)
+        self.set_state("on", new_state, cause="physical")
+        return new_state
+
+    def set_binary_state(self, on: bool, cause: str = "remote") -> None:
+        """Remote UPnP SetBinaryState command."""
+        if not isinstance(on, bool):
+            raise DeviceError(f"binary state must be a bool, got {on!r}")
+        self.actuations += 1
+        self.set_state("on", on, cause=cause)
+
+    def on_message(self, message: Message) -> None:
+        if message.protocol != UPNP:
+            return
+        payload = message.payload
+        msg_type = payload.get("type")
+        if msg_type == "subscribe":
+            self.subscribe(Address(payload["callback"]))
+            self.send(message.src, UPNP, {"type": "subscribed", "device_id": self.device_id}, size_bytes=64)
+        elif msg_type == "set_binary_state":
+            self.set_binary_state(bool(payload["on"]), cause="upnp")
+        elif msg_type == "get_binary_state":
+            self.send(
+                message.src,
+                UPNP,
+                {"type": "binary_state", "device_id": self.device_id, "on": self.get_state("on", False)},
+                size_bytes=64,
+            )

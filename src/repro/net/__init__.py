@@ -1,0 +1,45 @@
+"""Simulated network substrate.
+
+Models the communication paths of the paper's testbed (Figure 1): home-LAN
+links between IoT devices, their hubs, and the local proxy; WAN paths
+between the home gateway, partner-service servers, web applications, and
+the IFTTT engine.  Messages are routed hop-by-hop over links whose
+per-hop delay comes from calibrated latency models, and an HTTP-like
+request/response layer on top carries the IFTTT partner-service protocol.
+"""
+
+from repro.net.address import Address
+from repro.net.message import Message
+from repro.net.latency import (
+    LatencyModel,
+    FixedLatency,
+    UniformLatency,
+    LognormalLatency,
+    lan_latency,
+    wan_latency,
+    cloud_internal_latency,
+)
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.network import Network, RoutingError
+from repro.net.http import HttpRequest, HttpResponse, HttpNode, HttpError
+
+__all__ = [
+    "Address",
+    "Message",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "LognormalLatency",
+    "lan_latency",
+    "wan_latency",
+    "cloud_internal_latency",
+    "Link",
+    "Node",
+    "Network",
+    "RoutingError",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpNode",
+    "HttpError",
+]

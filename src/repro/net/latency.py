@@ -1,0 +1,112 @@
+"""Per-hop latency models.
+
+The paper's Table 5 timeline implies sub-100 ms LAN hops (trigger observed
+by the proxy at t=0.04 s) and WAN round trips of a few hundred ms.  These
+models supply calibrated per-hop delays; the dominant §4 delays come from
+the engine's polling schedule, not the network (the authors verified the
+network was never the bottleneck).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.simcore.rng import Rng
+
+
+class LatencyModel(ABC):
+    """Produces a one-way delay (seconds) for each message on a link."""
+
+    @abstractmethod
+    def sample(self, rng: Rng, size_bytes: int = 0) -> float:
+        """Draw a one-way delay for a message of the given size."""
+
+    def mean_estimate(self) -> float:
+        """Rough expected delay, used only for diagnostics/topology summaries."""
+        return 0.0
+
+
+class FixedLatency(LatencyModel):
+    """Constant delay (useful for deterministic unit tests)."""
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.delay = float(delay)
+
+    def sample(self, rng: Rng, size_bytes: int = 0) -> float:
+        return self.delay
+
+    def mean_estimate(self) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.delay!r})"
+
+
+class UniformLatency(LatencyModel):
+    """Delay uniform in [low, high]."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got {low}, {high}")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: Rng, size_bytes: int = 0) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean_estimate(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low!r}, {self.high!r})"
+
+
+class LognormalLatency(LatencyModel):
+    """Lognormal delay (median/sigma), optionally plus per-byte transfer cost.
+
+    Lognormal is the standard shape for internet path RTT components: most
+    samples near the median, occasional multi-x stragglers.
+    """
+
+    def __init__(
+        self,
+        median: float,
+        sigma: float = 0.3,
+        per_byte: float = 0.0,
+        floor: float = 0.0,
+    ) -> None:
+        if median <= 0:
+            raise ValueError(f"median must be positive, got {median}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.median = float(median)
+        self.sigma = float(sigma)
+        self.per_byte = float(per_byte)
+        self.floor = float(floor)
+
+    def sample(self, rng: Rng, size_bytes: int = 0) -> float:
+        base = rng.lognormal_median(self.median, self.sigma) if self.sigma else self.median
+        return max(self.floor, base) + self.per_byte * size_bytes
+
+    def mean_estimate(self) -> float:
+        return self.median
+
+    def __repr__(self) -> str:
+        return f"LognormalLatency(median={self.median!r}, sigma={self.sigma!r})"
+
+
+def lan_latency() -> LatencyModel:
+    """Home-LAN hop: ~5-30 ms one way (WiFi + hub processing)."""
+    return LognormalLatency(median=0.012, sigma=0.5, floor=0.002)
+
+
+def wan_latency() -> LatencyModel:
+    """Residential-to-cloud WAN hop: ~40-150 ms one way."""
+    return LognormalLatency(median=0.060, sigma=0.45, floor=0.015)
+
+
+def cloud_internal_latency() -> LatencyModel:
+    """Cloud-to-cloud hop (engine to partner service): ~15-60 ms one way."""
+    return LognormalLatency(median=0.025, sigma=0.4, floor=0.005)

@@ -1,0 +1,47 @@
+"""Point-to-point links."""
+
+from __future__ import annotations
+
+from repro.net.address import Address
+from repro.net.latency import LatencyModel
+from repro.simcore.rng import Rng
+
+
+class Link:
+    """A bidirectional link between two addresses with a latency model.
+
+    Links carry statistics (messages and bytes forwarded) so topology-level
+    tests and the testbed's traffic accounting can assert on them.
+    """
+
+    def __init__(self, a: Address, b: Address, latency: LatencyModel) -> None:
+        if a == b:
+            raise ValueError(f"link endpoints must differ, got {a} twice")
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.messages_forwarded = 0
+        self.bytes_forwarded = 0
+        self.up = True
+
+    def endpoints(self) -> frozenset:
+        """The unordered endpoint pair (used as the topology key)."""
+        return frozenset((self.a, self.b))
+
+    def other(self, end: Address) -> Address:
+        """The endpoint opposite ``end``."""
+        if end == self.a:
+            return self.b
+        if end == self.b:
+            return self.a
+        raise ValueError(f"{end} is not an endpoint of this link")
+
+    def sample_delay(self, rng: Rng, size_bytes: int) -> float:
+        """Draw the one-way delay for a message crossing this link."""
+        self.messages_forwarded += 1
+        self.bytes_forwarded += size_bytes
+        return self.latency.sample(rng, size_bytes)
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.a.host}<->{self.b.host} {state}>"

@@ -1,0 +1,51 @@
+"""Messages carried by the simulated network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.net.address import Address
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A unit of data in flight between two nodes.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint addresses.
+    protocol:
+        Wire protocol tag, e.g. ``"http"``, ``"upnp"``, ``"hue-rest"``,
+        ``"proxy-custom"`` — the testbed distinguishes the protocols each
+        hop speaks (§2.1).
+    payload:
+        Arbitrary structured body.
+    size_bytes:
+        Nominal size, used by links with serialization cost.
+    msg_id:
+        Unique id assigned at construction; ties request/response pairs
+        and trace records together.
+    """
+
+    src: Address
+    dst: Address
+    protocol: str
+    payload: Any
+    size_bytes: int = 512
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    headers: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be non-negative, got {self.size_bytes}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<Message #{self.msg_id} {self.protocol} "
+            f"{self.src.host}->{self.dst.host}>"
+        )

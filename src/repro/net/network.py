@@ -1,0 +1,167 @@
+"""The network: node registry, link topology, hop-by-hop routing."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.net.address import Address
+from repro.net.link import Link
+from repro.net.latency import LatencyModel
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.simcore.rng import Rng
+from repro.simcore.simulator import Simulator
+
+
+class RoutingError(RuntimeError):
+    """No usable path exists between two addresses."""
+
+
+class Network:
+    """A set of nodes joined by links, with shortest-hop routing.
+
+    Each transmitted message is routed along the (cached) minimum-hop path
+    between source and destination; every link on the path contributes an
+    independently sampled delay, and delivery is scheduled at the sum.
+    Links may be taken down (``link.up = False``) to model failures, which
+    invalidates the route cache.
+    """
+
+    def __init__(self, sim: Simulator, rng: Optional[Rng] = None) -> None:
+        self.sim = sim
+        self.rng = rng or Rng(seed=0, name="network")
+        self._nodes: Dict[Address, Node] = {}
+        self._links: Dict[FrozenSet[Address], Link] = {}
+        self._adjacency: Dict[Address, List[Link]] = {}
+        self._route_cache: Dict[tuple, List[Link]] = {}
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Register a node; its address must be unique."""
+        if node.address in self._nodes:
+            raise ValueError(f"duplicate node address {node.address}")
+        self._nodes[node.address] = node
+        self._adjacency.setdefault(node.address, [])
+        node.attach(self)
+        return node
+
+    def node(self, address: Address) -> Node:
+        """Look up a node by address."""
+        try:
+            return self._nodes[address]
+        except KeyError:
+            raise KeyError(f"no node at address {address}") from None
+
+    def has_node(self, address: Address) -> bool:
+        """Whether an address is registered."""
+        return address in self._nodes
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All registered nodes."""
+        return list(self._nodes.values())
+
+    def connect(self, a: Address, b: Address, latency: LatencyModel) -> Link:
+        """Create a bidirectional link between two registered nodes."""
+        for end in (a, b):
+            if end not in self._nodes:
+                raise KeyError(f"cannot link unregistered address {end}")
+        key = frozenset((a, b))
+        if key in self._links:
+            raise ValueError(f"link {a}<->{b} already exists")
+        link = Link(a, b, latency)
+        self._links[key] = link
+        self._adjacency[a].append(link)
+        self._adjacency[b].append(link)
+        self._route_cache.clear()
+        return link
+
+    def link_between(self, a: Address, b: Address) -> Optional[Link]:
+        """The direct link between two addresses, if any."""
+        return self._links.get(frozenset((a, b)))
+
+    @property
+    def links(self) -> List[Link]:
+        """All links in the topology."""
+        return list(self._links.values())
+
+    def set_link_state(self, a: Address, b: Address, up: bool) -> None:
+        """Bring a link up or down; routes are recomputed lazily."""
+        link = self.link_between(a, b)
+        if link is None:
+            raise KeyError(f"no link between {a} and {b}")
+        link.up = up
+        self._route_cache.clear()
+
+    # -- routing and transmission -------------------------------------------
+
+    def route(self, src: Address, dst: Address) -> List[Link]:
+        """Minimum-hop path from ``src`` to ``dst`` over up links (BFS)."""
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        if src == dst:
+            self._route_cache[key] = []
+            return []
+        parents: Dict[Address, tuple] = {src: (None, None)}
+        frontier = deque([src])
+        while frontier:
+            here = frontier.popleft()
+            if here == dst:
+                break
+            for link in self._adjacency.get(here, ()):
+                if not link.up:
+                    continue
+                neighbor = link.other(here)
+                if neighbor not in parents:
+                    parents[neighbor] = (here, link)
+                    frontier.append(neighbor)
+        if dst not in parents:
+            raise RoutingError(f"no path from {src} to {dst}")
+        path: List[Link] = []
+        cursor = dst
+        while cursor != src:
+            parent, link = parents[cursor]
+            path.append(link)
+            cursor = parent
+        path.reverse()
+        self._route_cache[key] = path
+        return path
+
+    def path_delay(self, message: Message) -> float:
+        """Sample the end-to-end delay for a message along its route."""
+        path = self.route(message.src, message.dst)
+        return sum(link.sample_delay(self.rng, message.size_bytes) for link in path)
+
+    def transmit(self, message: Message) -> None:
+        """Route and schedule delivery of a message.
+
+        Messages to unreachable destinations are counted as dropped rather
+        than raising, matching real networks where a sender only learns of
+        the failure from a timeout (callers that care use HTTP timeouts).
+        """
+        if message.dst not in self._nodes:
+            raise KeyError(f"message to unregistered address {message.dst}")
+        try:
+            delay = self.path_delay(message)
+        except RoutingError:
+            self.messages_dropped += 1
+            return
+        self.sim.schedule(
+            delay,
+            self._deliver,
+            message,
+            label=f"deliver#{message.msg_id}",
+        )
+
+    def _deliver(self, message: Message) -> None:
+        self.messages_delivered += 1
+        self._nodes[message.dst].deliver(message)
+
+    def __repr__(self) -> str:
+        return f"<Network nodes={len(self._nodes)} links={len(self._links)}>"

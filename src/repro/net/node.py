@@ -1,0 +1,69 @@
+"""Base class for network-attached entities."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.address import Address
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+
+
+class Node:
+    """Anything attached to the simulated network.
+
+    Subclasses (devices, hubs, proxies, services, the engine) override
+    :meth:`on_message`.  Nodes gain a back-reference to the network when
+    attached, through which they send and schedule.
+    """
+
+    def __init__(self, address: Address) -> None:
+        self.address = address
+        self.network: Optional["Network"] = None
+        self.messages_received = 0
+        self.messages_sent = 0
+
+    @property
+    def sim(self):
+        """The simulator of the attached network."""
+        if self.network is None:
+            raise RuntimeError(f"node {self.address} is not attached to a network")
+        return self.network.sim
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now
+
+    def attach(self, network: "Network") -> None:
+        """Called by :meth:`Network.add_node`; may be overridden for setup."""
+        self.network = network
+
+    def send(self, dst: Address, protocol: str, payload, size_bytes: int = 512, **headers) -> Message:
+        """Construct and transmit a message to ``dst``."""
+        if self.network is None:
+            raise RuntimeError(f"node {self.address} is not attached to a network")
+        message = Message(
+            src=self.address,
+            dst=dst,
+            protocol=protocol,
+            payload=payload,
+            size_bytes=size_bytes,
+            headers=dict(headers),
+        )
+        self.messages_sent += 1
+        self.network.transmit(message)
+        return message
+
+    def deliver(self, message: Message) -> None:
+        """Entry point invoked by the network on arrival."""
+        self.messages_received += 1
+        self.on_message(message)
+
+    def on_message(self, message: Message) -> None:
+        """Handle an arriving message.  Default: ignore."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.address.host}>"

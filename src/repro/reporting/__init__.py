@@ -1,0 +1,27 @@
+"""Rendering helpers for tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that presentation code out of the analysis layer.
+"""
+
+from repro.reporting.table import render_table
+from repro.reporting.cdf import cdf_points, cdf_at, summarize_latencies
+from repro.reporting.figures import (
+    write_csv,
+    export_cdf,
+    export_heatmap,
+    export_rank_series,
+    export_all_figures,
+)
+
+__all__ = [
+    "render_table",
+    "cdf_points",
+    "cdf_at",
+    "summarize_latencies",
+    "write_csv",
+    "export_cdf",
+    "export_heatmap",
+    "export_rank_series",
+    "export_all_figures",
+]

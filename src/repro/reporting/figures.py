@@ -1,0 +1,113 @@
+"""Figure-data export: write every reproduced figure's series to disk.
+
+Plotting libraries are not a dependency of this repository, so the
+figures are exported as plain CSV series (one file per figure) that any
+tool can render.  ``export_all_figures`` is the one-call driver that
+regenerates the data behind Figures 2-7.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence
+
+from repro.reporting.cdf import cdf_points
+
+
+def write_csv(path, header: Sequence[str], rows: Iterable[Sequence]) -> Path:
+    """Write one CSV series; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(row)
+    return target
+
+
+def export_cdf(path, samples: Sequence[float], label: str = "value") -> Path:
+    """Export an empirical CDF as (value, fraction) rows."""
+    return write_csv(path, [label, "cdf"], cdf_points(samples))
+
+
+def export_heatmap(path, matrix: List[List[int]]) -> Path:
+    """Export a category-interaction matrix as (row, col, value) triples."""
+    rows = [
+        (i + 1, j + 1, cell)
+        for i, row in enumerate(matrix)
+        for j, cell in enumerate(row)
+    ]
+    return write_csv(path, ["trigger_category", "action_category", "add_count"], rows)
+
+
+def export_rank_series(path, series: Sequence) -> Path:
+    """Export Figure 3's (rank, add_count) samples."""
+    return write_csv(path, ["rank", "add_count"], series)
+
+
+def export_all_figures(
+    output_dir,
+    corpus_scale: float = 0.05,
+    t2a_runs: int = 20,
+    seed: int = 7,
+) -> Dict[str, Path]:
+    """Regenerate and export the data behind Figures 2-7.
+
+    Returns a mapping from figure key to the CSV path written.  This is
+    the heavyweight driver (it runs the §3 crawl and the §4 experiments);
+    expect tens of seconds at the default sizes.
+    """
+    from repro.analysis import interaction_heatmap, log_rank_series
+    from repro.crawler import IftttCrawler
+    from repro.ecosystem import EcosystemGenerator, EcosystemParams
+    from repro.frontend import SimulatedIftttSite
+    from repro.testbed.concurrent import run_concurrent_experiment
+    from repro.testbed.scenarios import run_scenario_t2a
+    from repro.testbed.sequential import run_sequential_experiment
+    from repro.testbed.t2a import run_official_t2a
+
+    output = Path(output_dir)
+    written: Dict[str, Path] = {}
+
+    corpus = EcosystemGenerator(EcosystemParams(scale=corpus_scale, seed=seed)).generate()
+    snapshot = IftttCrawler(SimulatedIftttSite(corpus)).crawl()
+    written["fig2_heatmap"] = export_heatmap(
+        output / "fig2_heatmap.csv", interaction_heatmap(snapshot)
+    )
+    written["fig3_addcount"] = export_rank_series(
+        output / "fig3_addcount.csv", log_rank_series(snapshot)
+    )
+
+    t2a = run_official_t2a(runs=t2a_runs, seed=seed)
+    written["fig4_a1_a4"] = export_cdf(
+        output / "fig4_a1_a4_cdf.csv", t2a.group("A1-A4"), label="t2a_seconds"
+    )
+    written["fig4_a5_a7"] = export_cdf(
+        output / "fig4_a5_a7_cdf.csv", t2a.group("A5-A7"), label="t2a_seconds"
+    )
+
+    for name in ("E1", "E2", "E3"):
+        latencies = run_scenario_t2a(
+            name, runs=t2a_runs, seed=seed, spacing=20.0 if name == "E3" else 120.0
+        )
+        written[f"fig5_{name}"] = export_cdf(
+            output / f"fig5_{name.lower()}_cdf.csv", latencies, label="t2a_seconds"
+        )
+
+    sequential = run_sequential_experiment(seed=seed)
+    written["fig6_triggers"] = write_csv(
+        output / "fig6_triggers.csv", ["t_seconds"],
+        [[t] for t in sequential.trigger_times],
+    )
+    written["fig6_actions"] = write_csv(
+        output / "fig6_actions.csv", ["t_seconds"],
+        [[t] for t in sequential.action_times],
+    )
+
+    concurrent = run_concurrent_experiment(runs=t2a_runs, seed=seed)
+    written["fig7_diff"] = export_cdf(
+        output / "fig7_diff_cdf.csv", concurrent.differences, label="diff_seconds"
+    )
+    return written

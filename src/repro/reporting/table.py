@@ -1,0 +1,37 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render a left-padded ASCII table.
+
+    Numbers are right-aligned; everything else left-aligned.  Floats are
+    shown with one decimal (the paper's tables use percentages at that
+    precision).
+    """
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        return str(value)
+
+    text_rows: List[List[str]] = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def align(cell: str, width: int, value: Any) -> str:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return cell.rjust(width)
+        return cell.ljust(width)
+
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for raw, row in zip(rows, text_rows):
+        lines.append("  ".join(align(cell, w, value) for cell, w, value in zip(row, widths, raw)))
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Trigger and action endpoint declarations.
+
+An endpoint couples a protocol slug (the path component under
+``/ifttt/v1/triggers/`` or ``/ifttt/v1/actions/``) with the service-side
+behaviour: for triggers, how raw upstream events map onto trigger
+identities (field matching) and ingredients; for actions, the executor
+that drives the device or web app.
+
+Endpoints also declare the *channels* they read and write — an abstract
+resource key like ``("sheets", "songs")`` or ``("hue", "lamp1")``.
+Channels are invisible to the real IFTTT engine (which is precisely why
+it cannot detect loops, §4); our static loop analyzer
+(:mod:`repro.engine.loops`) uses them to reproduce the explicit- and
+implicit-loop findings and to ablate the paper's §6 recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Tuple
+
+#: An abstract resource affected by an action or observed by a trigger.
+Channel = Tuple[str, str]
+
+Matcher = Callable[[Dict[str, Any], Dict[str, Any]], bool]
+IngredientExtractor = Callable[[Dict[str, Any]], Dict[str, Any]]
+Executor = Callable[[Dict[str, Any]], Any]
+ChannelFn = Callable[[Dict[str, Any]], FrozenSet[Channel]]
+
+
+def match_all(event: Dict[str, Any], fields: Dict[str, Any]) -> bool:
+    """Default matcher: every upstream event matches every identity."""
+    return True
+
+
+def match_fields_subset(event: Dict[str, Any], fields: Dict[str, Any]) -> bool:
+    """Matcher requiring every trigger field to equal the event's value.
+
+    Fields absent from the event are treated as non-matching, so an applet
+    with ``{"phrase": "good night"}`` only fires on that exact phrase.
+    """
+    return all(event.get(key) == value for key, value in fields.items())
+
+
+def _no_channels(fields: Dict[str, Any]) -> FrozenSet[Channel]:
+    return frozenset()
+
+
+@dataclass
+class TriggerEndpoint:
+    """A trigger exposed by a partner service.
+
+    Attributes
+    ----------
+    slug:
+        Path component (``/ifttt/v1/triggers/<slug>``).
+    name:
+        Human-readable trigger name (as shown on ifttt.com).
+    matcher:
+        Predicate deciding whether an upstream event belongs to a trigger
+        identity, given the identity's trigger fields.
+    ingredients:
+        Maps the raw upstream event to the ingredient dict embedded in the
+        trigger event.
+    reads_channels:
+        Channels whose mutation can fire this trigger, as a function of
+        the trigger fields (for loop analysis).
+    """
+
+    slug: str
+    name: str
+    matcher: Matcher = match_all
+    ingredients: IngredientExtractor = lambda event: dict(event)
+    reads_channels: ChannelFn = _no_channels
+
+    def __post_init__(self) -> None:
+        if not self.slug or "/" in self.slug:
+            raise ValueError(f"invalid trigger slug {self.slug!r}")
+
+
+@dataclass
+class ActionEndpoint:
+    """An action exposed by a partner service.
+
+    Attributes
+    ----------
+    slug, name:
+        As for :class:`TriggerEndpoint`.
+    executor:
+        Called with the resolved action fields; drives the device/web app.
+        Its return value becomes the action response body.
+    writes_channels:
+        Channels this action mutates, as a function of the action fields.
+    """
+
+    slug: str
+    name: str
+    executor: Executor = lambda fields: None
+    writes_channels: ChannelFn = _no_channels
+
+    def __post_init__(self) -> None:
+        if not self.slug or "/" in self.slug:
+            raise ValueError(f"invalid action slug {self.slug!r}")
+
+
+@dataclass
+class QueryEndpoint:
+    """A query exposed by a partner service (the §6 "queries" feature).
+
+    Queries are side-effect-free reads the engine performs while
+    executing an applet, to feed its filter condition — e.g. "how many
+    rows does the spreadsheet have", "is anyone home".  The executor
+    returns a list of row dicts.
+    """
+
+    slug: str
+    name: str
+    executor: Callable[[Dict[str, Any]], Any] = lambda fields: []
+    reads_channels: ChannelFn = _no_channels
+
+    def __post_init__(self) -> None:
+        if not self.slug or "/" in self.slug:
+            raise ValueError(f"invalid query slug {self.slug!r}")
+
+
+def static_channels(*channels: Channel) -> ChannelFn:
+    """Channel function ignoring fields: always the given channels."""
+    fixed = frozenset(channels)
+
+    def fn(fields: Dict[str, Any]) -> FrozenSet[Channel]:
+        return fixed
+
+    return fn
+
+
+def field_channel(kind: str, field_name: str, default: str = "*") -> ChannelFn:
+    """Channel function keyed by one field value.
+
+    ``field_channel("sheets", "sheet")`` maps fields ``{"sheet": "songs"}``
+    to the channel ``("sheets", "songs")``.
+    """
+
+    def fn(fields: Dict[str, Any]) -> FrozenSet[Channel]:
+        return frozenset({(kind, str(fields.get(field_name, default)))})
+
+    return fn

@@ -1,0 +1,675 @@
+"""Official vendor partner services (Figure 1, ❻).
+
+Each official service is wired the way the vendor's production cloud
+reaches its devices or data:
+
+* **Philips Hue** talks directly to the home Hue hub (the paper notes the
+  official service uses a proprietary hub protocol; we use the hub's
+  subscription + REST interface over the WAN path Lamp-Hub-Gateway-Cloud).
+* **WeMo** subscribes to the switch over its UPnP eventing.
+* **Alexa** consumes parsed intents pushed by the Alexa cloud, and is
+  realtime-capable: it hints the engine on every new trigger event (which
+  the engine honours for Alexa — the cause of A5-A7's low latency).
+* **Gmail / Sheets / Drive / Weather** poll or call their web apps'
+  APIs directly — §2.2's "polling approach for web apps".
+* **Nest** and **SmartThings** receive device/hub push over their own
+  transports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.iot.nest import NEST_PROTOCOL
+from repro.iot.wemo import UPNP
+from repro.net.address import Address
+from repro.net.http import HttpRequest
+from repro.net.message import Message
+from repro.services.endpoints import (
+    ActionEndpoint,
+    QueryEndpoint,
+    TriggerEndpoint,
+    field_channel,
+    match_fields_subset,
+    static_channels,
+)
+from repro.services.partner import PartnerService
+from repro.simcore.process import Process, Timeout
+from repro.simcore.trace import Trace
+
+
+class OfficialHueService(PartnerService):
+    """Philips Hue: lighting actions (Table 3's top action service)."""
+
+    def __init__(self, address: Address, hub: Address, trace: Optional[Trace] = None) -> None:
+        super().__init__(address, slug="philips_hue", trace=trace, service_time=0.02)
+        self.hub = hub
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="light_turned_on",
+                name="Light turned on",
+                matcher=lambda event, fields: event.get("on") is True
+                and (not fields.get("lamp_id") or fields["lamp_id"] == event.get("lamp_id")),
+                ingredients=lambda event: {"lamp_id": event.get("lamp_id", "")},
+                reads_channels=field_channel("hue", "lamp_id"),
+            )
+        )
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="light_turned_off",
+                name="Light turned off",
+                matcher=lambda event, fields: event.get("on") is False
+                and (not fields.get("lamp_id") or fields["lamp_id"] == event.get("lamp_id")),
+                ingredients=lambda event: {"lamp_id": event.get("lamp_id", "")},
+                reads_channels=field_channel("hue", "lamp_id"),
+            )
+        )
+        self.add_action(
+            ActionEndpoint(
+                slug="turn_on_lights",
+                name="Turn on lights",
+                executor=lambda fields: self._command(fields, {"on": True}),
+                writes_channels=field_channel("hue", "lamp_id"),
+            )
+        )
+        self.add_action(
+            ActionEndpoint(
+                slug="turn_off_lights",
+                name="Turn off lights",
+                executor=lambda fields: self._command(fields, {"on": False}),
+                writes_channels=field_channel("hue", "lamp_id"),
+            )
+        )
+        self.add_action(
+            ActionEndpoint(
+                slug="change_color",
+                name="Change color",
+                executor=lambda fields: self._command(
+                    fields, {"on": True, "color": fields.get("color", "white")}
+                ),
+                writes_channels=field_channel("hue", "lamp_id"),
+            )
+        )
+        self.add_action(
+            ActionEndpoint(
+                slug="blink_lights",
+                name="Blink lights",
+                executor=lambda fields: self._command(fields, {"effect": "blink"}),
+                writes_channels=field_channel("hue", "lamp_id"),
+            )
+        )
+        self.add_action(
+            ActionEndpoint(
+                slug="turn_on_color_loop",
+                name="Turn on color loop",
+                executor=lambda fields: self._command(fields, {"on": True, "effect": "colorloop"}),
+                writes_channels=field_channel("hue", "lamp_id"),
+            )
+        )
+        self.add_route("POST", "/events/hue", self._handle_hub_event)
+
+    def connect(self) -> None:
+        """Subscribe to the home hub's event push (call once nodes are wired)."""
+        self.post(self.hub, "/api/subscribe", body={"callback": self.address.host})
+
+    def _command(self, fields: Dict[str, Any], command: Dict[str, Any]) -> Dict[str, Any]:
+        lamp_id = fields.get("lamp_id", "")
+        if not lamp_id:
+            raise ValueError("hue action requires a lamp_id field")
+        self.request(self.hub, "PUT", f"/api/lights/{lamp_id}/state", body=command)
+        return {"lamp_id": lamp_id, "command": command}
+
+    def _handle_hub_event(self, request: HttpRequest):
+        body = request.body or {}
+        state = body.get("state", {})
+        event = {"lamp_id": body.get("device_id", ""), "on": state.get("on")}
+        for slug in ("light_turned_on", "light_turned_off"):
+            self.ingest_event(slug, event)
+        return {"ok": True}
+
+
+class OfficialWemoService(PartnerService):
+    """Belkin WeMo: switch trigger/action over UPnP eventing."""
+
+    def __init__(self, address: Address, trace: Optional[Trace] = None) -> None:
+        super().__init__(address, slug="wemo", trace=trace, service_time=0.02)
+        self._switches: Dict[str, Address] = {}
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="switch_activated",
+                name="Switch turned on",
+                matcher=lambda event, fields: event.get("on") is True
+                and (not fields.get("device_id") or fields["device_id"] == event.get("device_id")),
+                ingredients=lambda event: {"device_id": event.get("device_id", "")},
+                reads_channels=field_channel("wemo", "device_id"),
+            )
+        )
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="switch_deactivated",
+                name="Switch turned off",
+                matcher=lambda event, fields: event.get("on") is False
+                and (not fields.get("device_id") or fields["device_id"] == event.get("device_id")),
+                ingredients=lambda event: {"device_id": event.get("device_id", "")},
+                reads_channels=field_channel("wemo", "device_id"),
+            )
+        )
+        self.add_action(
+            ActionEndpoint(
+                slug="activate_switch",
+                name="Turn switch on",
+                executor=lambda fields: self._set_switch(fields, True),
+                writes_channels=field_channel("wemo", "device_id"),
+            )
+        )
+        self.add_action(
+            ActionEndpoint(
+                slug="deactivate_switch",
+                name="Turn switch off",
+                executor=lambda fields: self._set_switch(fields, False),
+                writes_channels=field_channel("wemo", "device_id"),
+            )
+        )
+
+    def connect_switch(self, device_id: str, switch: Address) -> None:
+        """UPnP-subscribe to one switch."""
+        self._switches[device_id] = switch
+        self.send(switch, UPNP, {"type": "subscribe", "callback": self.address.host}, size_bytes=64)
+
+    def _set_switch(self, fields: Dict[str, Any], on: bool) -> Dict[str, Any]:
+        device_id = fields.get("device_id", "")
+        switch = self._switches.get(device_id)
+        if switch is None:
+            raise ValueError(f"wemo switch {device_id!r} is not connected")
+        self.send(switch, UPNP, {"type": "set_binary_state", "on": on}, size_bytes=64)
+        return {"device_id": device_id, "on": on}
+
+    def on_non_http_message(self, message: Message) -> None:
+        if message.protocol != UPNP or not message.payload.get("event"):
+            return
+        payload = message.payload
+        event = {
+            "device_id": payload.get("device_id", ""),
+            "on": payload.get("state", {}).get("on"),
+        }
+        for slug in ("switch_activated", "switch_deactivated"):
+            self.ingest_event(slug, event)
+
+
+class OfficialAlexaService(PartnerService):
+    """Amazon Alexa: the top IoT trigger service (Table 3), realtime-capable."""
+
+    def __init__(self, address: Address, alexa_cloud: Address, trace: Optional[Trace] = None) -> None:
+        super().__init__(address, slug="amazon_alexa", trace=trace, realtime=True, service_time=0.02)
+        self.alexa_cloud = alexa_cloud
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="say_phrase",
+                name="Say a specific phrase",
+                matcher=lambda event, fields: event.get("intent") == "say_phrase"
+                and (not fields.get("phrase") or fields["phrase"] == event.get("phrase")),
+                ingredients=lambda event: {"phrase": event.get("phrase", "")},
+                reads_channels=static_channels(("alexa", "voice")),
+            )
+        )
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="todo_item_added",
+                name="Item added to your to-do list",
+                matcher=lambda event, fields: event.get("intent") == "todo_item_added",
+                ingredients=lambda event: {"item": event.get("item", "")},
+                reads_channels=static_channels(("alexa", "todo")),
+            )
+        )
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="shopping_item_added",
+                name="Item added to your shopping list",
+                matcher=lambda event, fields: event.get("intent") == "shopping_item_added",
+                ingredients=lambda event: {"item": event.get("item", "")},
+                reads_channels=static_channels(("alexa", "shopping")),
+            )
+        )
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="shopping_list_asked",
+                name="Ask what's on your shopping list",
+                matcher=lambda event, fields: event.get("intent") == "shopping_list_asked",
+                ingredients=lambda event: {},
+                reads_channels=static_channels(("alexa", "shopping")),
+            )
+        )
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="song_played",
+                name="New song played",
+                matcher=lambda event, fields: event.get("intent") == "song_played",
+                ingredients=lambda event: {"song": event.get("song", "")},
+                reads_channels=static_channels(("alexa", "music")),
+            )
+        )
+        self.add_route("POST", "/events/alexa", self._handle_intent)
+
+    def connect(self) -> None:
+        """Register with the Alexa cloud as an intent consumer."""
+        self.post(self.alexa_cloud, "/v1/consumers", body={"callback": self.address.host})
+
+    def _handle_intent(self, request: HttpRequest):
+        intent = request.body or {}
+        for slug in self.trigger_slugs:
+            self.ingest_event(slug, intent)
+        return {"ok": True}
+
+
+class OfficialGmailService(PartnerService):
+    """Gmail: new-email/new-attachment triggers (polled) + send-email action."""
+
+    def __init__(
+        self,
+        address: Address,
+        gmail: Address,
+        user_email: str,
+        poll_interval: float = 10.0,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        super().__init__(address, slug="gmail", trace=trace, service_time=0.02)
+        self.gmail = gmail
+        self.user_email = user_email
+        self.poll_interval = poll_interval
+        self._last_msg_id = 0
+        self._poll_process: Optional[Process] = None
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="new_email",
+                name="Any new email in inbox",
+                ingredients=lambda event: {
+                    "subject": event.get("subject", ""),
+                    "from": event.get("from", ""),
+                    "body": event.get("body", ""),
+                },
+                reads_channels=static_channels(("gmail_inbox", "me")),
+            )
+        )
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="new_attachment",
+                name="New email with attachment",
+                matcher=lambda event, fields: bool(event.get("attachments")),
+                ingredients=lambda event: {
+                    "subject": event.get("subject", ""),
+                    "from": event.get("from", ""),
+                    "attachments": list(event.get("attachments", [])),
+                    "attachment": (event.get("attachments") or [""])[0],
+                },
+                reads_channels=static_channels(("gmail_inbox", "me")),
+            )
+        )
+        self.add_action(
+            ActionEndpoint(
+                slug="send_email",
+                name="Send an email",
+                executor=self._send_email,
+                writes_channels=static_channels(("gmail_inbox", "me")),
+            )
+        )
+
+    def start_polling(self) -> Process:
+        """Spawn the service's internal mailbox poll loop (§2.2's app polling)."""
+        if self._poll_process is not None and self._poll_process.alive:
+            return self._poll_process
+
+        def loop():
+            while True:
+                self.get(
+                    self.gmail,
+                    "/api/messages",
+                    body={"user": self.user_email, "since_id": self._last_msg_id},
+                    on_response=self._on_mailbox,
+                )
+                yield Timeout(self.poll_interval)
+
+        self._poll_process = Process(self.sim, loop(), name=f"{self.slug}.mailpoll")
+        return self._poll_process
+
+    def _on_mailbox(self, response) -> None:
+        if not response.ok:
+            return
+        for message in (response.body or {}).get("messages", []):
+            self._last_msg_id = max(self._last_msg_id, message["msg_id"])
+            self.ingest_event("new_email", message)
+            if message.get("attachments"):
+                self.ingest_event("new_attachment", message)
+
+    def _send_email(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        self.post(
+            self.gmail,
+            "/api/send",
+            body={
+                "to": fields.get("to", self.user_email),
+                "from": self.user_email,
+                "subject": fields.get("subject", ""),
+                "body": fields.get("body", ""),
+            },
+        )
+        return {"to": fields.get("to", self.user_email)}
+
+
+class OfficialSheetsService(PartnerService):
+    """Google Sheets: add-row action + new-row trigger."""
+
+    def __init__(
+        self,
+        address: Address,
+        sheets: Address,
+        poll_interval: float = 15.0,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        super().__init__(address, slug="google_sheets", trace=trace, service_time=0.02)
+        self.sheets = sheets
+        self.poll_interval = poll_interval
+        self._last_activity_id = 0
+        self._poll_process: Optional[Process] = None
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="new_row",
+                name="New row added to spreadsheet",
+                matcher=lambda event, fields: not fields.get("sheet")
+                or fields["sheet"] == event.get("sheet"),
+                ingredients=lambda event: {"sheet": event.get("sheet", ""), "row": event.get("row", 0)},
+                reads_channels=field_channel("sheets", "sheet"),
+            )
+        )
+        self.add_action(
+            ActionEndpoint(
+                slug="add_row",
+                name="Add row to spreadsheet",
+                executor=self._add_row,
+                writes_channels=field_channel("sheets", "sheet"),
+            )
+        )
+        self.add_query(
+            QueryEndpoint(
+                slug="row_count",
+                name="Number of rows in spreadsheet",
+                executor=self._row_count,
+                reads_channels=field_channel("sheets", "sheet"),
+            )
+        )
+        self._row_counts: Dict[str, int] = {}
+
+    def _row_count(self, fields: Dict[str, Any]) -> Any:
+        """Rows currently in a sheet, from the mirrored activity stream.
+
+        The service tracks row counts from the ``row_added`` activity it
+        already polls, so the query answers from local state — the engine
+        sees a single round trip.
+        """
+        sheet = str(fields.get("sheet", "default"))
+        return [{"sheet": sheet, "rows": self._row_counts.get(sheet, 0)}]
+
+    def start_polling(self) -> Process:
+        """Spawn the spreadsheet-activity poll loop."""
+        if self._poll_process is not None and self._poll_process.alive:
+            return self._poll_process
+
+        def loop():
+            while True:
+                # The sheets app's activity log is global; track a cursor.
+                self.get(
+                    self.sheets,
+                    "/api/activity",
+                    body={"since_id": self._last_activity_id},
+                    on_response=self._on_activity,
+                )
+                yield Timeout(self.poll_interval)
+
+        self._poll_process = Process(self.sim, loop(), name=f"{self.slug}.activitypoll")
+        return self._poll_process
+
+    def _on_activity(self, response) -> None:
+        if not response.ok:
+            return
+        for record in (response.body or {}).get("activity", []):
+            self._last_activity_id = max(self._last_activity_id, record["id"])
+            if record.get("activity") == "row_added":
+                sheet = str(record.get("sheet", "default"))
+                self._row_counts[sheet] = max(
+                    self._row_counts.get(sheet, 0), int(record.get("row", 0))
+                )
+                self.ingest_event("new_row", record)
+
+    def _add_row(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        sheet = fields.get("sheet", "default")
+        cells = fields.get("cells")
+        if not isinstance(cells, list):
+            cells = [fields.get("row", "")]
+        self.post(self.sheets, f"/api/sheets/{sheet}/rows", body={"cells": cells})
+        return {"sheet": sheet}
+
+
+class OfficialDriveService(PartnerService):
+    """Google Drive: upload-file action (applet A4's sink)."""
+
+    def __init__(self, address: Address, drive: Address, trace: Optional[Trace] = None) -> None:
+        super().__init__(address, slug="google_drive", trace=trace, service_time=0.02)
+        self.drive = drive
+        self.add_action(
+            ActionEndpoint(
+                slug="upload_file",
+                name="Upload file from URL",
+                executor=self._upload,
+                writes_channels=field_channel("drive", "user"),
+            )
+        )
+
+    def _upload(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        self.post(
+            self.drive,
+            "/api/upload",
+            body={
+                "user": fields.get("user", "me"),
+                "name": fields.get("name", "attachment"),
+                "folder": fields.get("folder", "/ifttt"),
+            },
+        )
+        return {"name": fields.get("name", "attachment")}
+
+
+class OfficialNestService(PartnerService):
+    """Nest Thermostat: temperature triggers + set-temperature action."""
+
+    def __init__(self, address: Address, trace: Optional[Trace] = None) -> None:
+        super().__init__(address, slug="nest_thermostat", trace=trace, service_time=0.02)
+        self._thermostats: Dict[str, Address] = {}
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="temperature_rises_above",
+                name="Temperature rises above",
+                matcher=lambda event, fields: event.get("key") == "ambient_c"
+                and float(event.get("value", 0.0)) > float(fields.get("threshold_c", 1e9)),
+                ingredients=lambda event: {"temperature_c": event.get("value")},
+                reads_channels=field_channel("nest", "device_id"),
+            )
+        )
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="temperature_drops_below",
+                name="Temperature drops below",
+                matcher=lambda event, fields: event.get("key") == "ambient_c"
+                and float(event.get("value", 1e9)) < float(fields.get("threshold_c", -1e9)),
+                ingredients=lambda event: {"temperature_c": event.get("value")},
+                reads_channels=field_channel("nest", "device_id"),
+            )
+        )
+        self.add_action(
+            ActionEndpoint(
+                slug="set_temperature",
+                name="Set temperature",
+                executor=self._set_temperature,
+                writes_channels=field_channel("nest", "device_id"),
+            )
+        )
+
+    def connect_thermostat(self, device_id: str, thermostat: Address) -> None:
+        """Track one thermostat's cloud session (the device pushes to us)."""
+        self._thermostats[device_id] = thermostat
+
+    def _set_temperature(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        device_id = fields.get("device_id", "")
+        thermostat = self._thermostats.get(device_id)
+        if thermostat is None:
+            raise ValueError(f"nest thermostat {device_id!r} is not connected")
+        self.send(
+            thermostat,
+            NEST_PROTOCOL,
+            {"type": "set_target", "target_c": float(fields.get("target_c", 21.0))},
+            size_bytes=64,
+        )
+        return {"device_id": device_id, "target_c": fields.get("target_c")}
+
+    def on_non_http_message(self, message: Message) -> None:
+        if message.protocol != NEST_PROTOCOL or not message.payload.get("event"):
+            return
+        payload = message.payload
+        data = payload.get("data", {})
+        event = {
+            "device_id": payload.get("device_id", ""),
+            "key": data.get("key"),
+            "value": data.get("value"),
+        }
+        for slug in ("temperature_rises_above", "temperature_drops_below"):
+            self.ingest_event(slug, event)
+
+
+class OfficialSmartThingsService(PartnerService):
+    """SmartThings: generic hub device triggers and control actions."""
+
+    def __init__(self, address: Address, hub: Address, trace: Optional[Trace] = None) -> None:
+        super().__init__(address, slug="smartthings", trace=trace, service_time=0.02)
+        self.hub = hub
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="device_state_changed",
+                name="Any device state changed",
+                matcher=lambda event, fields: not fields.get("device_id")
+                or fields["device_id"] == event.get("device_id"),
+                ingredients=lambda event: {
+                    "device_id": event.get("device_id", ""),
+                    "key": event.get("key", ""),
+                    "value": event.get("value"),
+                },
+                reads_channels=field_channel("smartthings", "device_id"),
+            )
+        )
+        self.add_action(
+            ActionEndpoint(
+                slug="control_device",
+                name="Control a device",
+                executor=self._control,
+                writes_channels=field_channel("smartthings", "device_id"),
+            )
+        )
+        self.add_route("POST", "/events/smartthings", self._handle_hub_event)
+
+    def connect(self) -> None:
+        """Subscribe to the hub's event push."""
+        self.post(self.hub, "/api/subscribe", body={"callback": self.address.host})
+
+    def _control(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        device_id = fields.get("device_id", "")
+        self.post(self.hub, f"/api/devices/{device_id}/command", body={"value": fields.get("value")})
+        return {"device_id": device_id}
+
+    def _handle_hub_event(self, request: HttpRequest):
+        body = request.body or {}
+        data = body.get("data", {})
+        event = {
+            "device_id": body.get("device_id", ""),
+            "key": data.get("key", ""),
+            "value": data.get("value"),
+        }
+        self.ingest_event("device_state_changed", event)
+        return {"ok": True}
+
+
+class OfficialWeatherService(PartnerService):
+    """Weather: condition-change triggers, polled from the weather app."""
+
+    def __init__(
+        self,
+        address: Address,
+        weather: Address,
+        location: str = "home",
+        poll_interval: float = 60.0,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        super().__init__(address, slug="weather", trace=trace, service_time=0.02)
+        self.weather = weather
+        self.location = location
+        self.poll_interval = poll_interval
+        self._last_change_id = 0
+        self._poll_process: Optional[Process] = None
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="rain_starts",
+                name="It starts raining",
+                matcher=lambda event, fields: event.get("condition") == "rain",
+                ingredients=lambda event: {"location": event.get("location", "")},
+                reads_channels=static_channels(("weather", "conditions")),
+            )
+        )
+        self.add_trigger(
+            TriggerEndpoint(
+                slug="condition_changes",
+                name="Current condition changes",
+                ingredients=lambda event: {
+                    "location": event.get("location", ""),
+                    "condition": event.get("condition", ""),
+                },
+                reads_channels=static_channels(("weather", "conditions")),
+            )
+        )
+
+        self.add_query(
+            QueryEndpoint(
+                slug="current_conditions",
+                name="Current weather conditions",
+                executor=self._current_conditions,
+                reads_channels=static_channels(("weather", "conditions")),
+            )
+        )
+        self._last_condition: Dict[str, str] = {}
+
+    def _current_conditions(self, fields: Dict[str, Any]) -> Any:
+        location = str(fields.get("location", self.location))
+        return [{"location": location,
+                 "condition": self._last_condition.get(location, "unknown")}]
+
+    def start_polling(self) -> Process:
+        """Spawn the weather-change poll loop."""
+        if self._poll_process is not None and self._poll_process.alive:
+            return self._poll_process
+
+        def loop():
+            while True:
+                self.get(
+                    self.weather,
+                    "/api/changes",
+                    body={"location": self.location, "since_id": self._last_change_id},
+                    on_response=self._on_changes,
+                )
+                yield Timeout(self.poll_interval)
+
+        self._poll_process = Process(self.sim, loop(), name=f"{self.slug}.weatherpoll")
+        return self._poll_process
+
+    def _on_changes(self, response) -> None:
+        if not response.ok:
+            return
+        for record in (response.body or {}).get("changes", []):
+            self._last_change_id = max(self._last_change_id, record["id"])
+            self._last_condition[str(record.get("location", ""))] = str(
+                record.get("condition", "unknown")
+            )
+            for slug in ("rain_starts", "condition_changes"):
+                self.ingest_event(slug, record)

@@ -1,0 +1,355 @@
+"""The generic IFTTT partner service.
+
+Implements the service side of the IFTTT web-based protocol observed in
+§2.2:
+
+* the service exposes a base URL; each trigger or action has a unique URL
+  under it (``/ifttt/v1/triggers/<slug>``, ``/ifttt/v1/actions/<slug>``);
+* IFTTT issues a per-service **key** at publication, embedded in every
+  message for authentication, alongside the user's OAuth2 bearer token and
+  a random request id;
+* polls carry a ``trigger_identity``, the ``triggerFields``, and a
+  ``limit`` (50 by default); the response returns buffered trigger events;
+* services supporting the **realtime API** proactively notify the engine
+  when a trigger event occurs (the engine still polls to fetch it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.net.address import Address
+from repro.net.http import HttpNode, HttpRequest
+from repro.services.buffer import TriggerBuffer, TriggerEvent
+from repro.services.endpoints import ActionEndpoint, QueryEndpoint, TriggerEndpoint
+from repro.simcore.trace import Trace
+
+TRIGGER_PATH = "/ifttt/v1/triggers/"
+ACTION_PATH = "/ifttt/v1/actions/"
+QUERY_PATH = "/ifttt/v1/queries/"
+STATUS_PATH = "/ifttt/v1/status"
+REALTIME_NOTIFY_PATH = "/ifttt/v1/webhooks/service/notify"
+
+
+class AuthError(RuntimeError):
+    """Service-side authentication failure."""
+
+
+class PartnerService(HttpNode):
+    """A partner service: trigger/action endpoints behind IFTTT auth.
+
+    Parameters
+    ----------
+    address:
+        The service server's network address (its "base URL").
+    slug:
+        The service's identity on the platform (e.g. ``"philips_hue"``).
+    trace:
+        Shared experiment trace (optional).
+    realtime:
+        Whether the service sends realtime hints to the engine on each
+        new trigger event.
+    service_time:
+        Server-side processing delay per HTTP request.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        slug: str,
+        trace: Optional[Trace] = None,
+        realtime: bool = False,
+        service_time: float = 0.01,
+        buffer_capacity: int = 500,
+    ) -> None:
+        super().__init__(address, service_time=service_time)
+        self.slug = slug
+        self.trace = trace
+        self.realtime = realtime
+        self.buffer_capacity = buffer_capacity
+        self.service_key: Optional[str] = None
+        self.engine_address: Optional[Address] = None
+        self._triggers: Dict[str, TriggerEndpoint] = {}
+        self._actions: Dict[str, ActionEndpoint] = {}
+        self._queries: Dict[str, QueryEndpoint] = {}
+        #: trigger identity -> (trigger slug, fields, buffer)
+        self._identities: Dict[str, Tuple[str, Dict[str, Any], TriggerBuffer]] = {}
+        self._valid_tokens: Set[str] = set()
+        self.polls_served = 0
+        self.actions_executed = 0
+        self.events_ingested = 0
+        self.realtime_hints_sent = 0
+        self.auth_failures = 0
+        self.outage = False
+        self.requests_rejected_during_outage = 0
+        self.add_route("POST", TRIGGER_PATH, self._handle_trigger_poll)
+        self.add_route("POST", ACTION_PATH, self._handle_action)
+        self.add_route("POST", QUERY_PATH, self._handle_query)
+        self.add_route("GET", STATUS_PATH, self._handle_status)
+
+    # -- endpoint declaration ----------------------------------------------------
+
+    def add_trigger(self, endpoint: TriggerEndpoint) -> TriggerEndpoint:
+        """Expose a trigger endpoint."""
+        if endpoint.slug in self._triggers:
+            raise ValueError(f"duplicate trigger slug {endpoint.slug!r} on {self.slug}")
+        self._triggers[endpoint.slug] = endpoint
+        return endpoint
+
+    def add_action(self, endpoint: ActionEndpoint) -> ActionEndpoint:
+        """Expose an action endpoint."""
+        if endpoint.slug in self._actions:
+            raise ValueError(f"duplicate action slug {endpoint.slug!r} on {self.slug}")
+        self._actions[endpoint.slug] = endpoint
+        return endpoint
+
+    def add_query(self, endpoint: QueryEndpoint) -> QueryEndpoint:
+        """Expose a query endpoint (side-effect-free read)."""
+        if endpoint.slug in self._queries:
+            raise ValueError(f"duplicate query slug {endpoint.slug!r} on {self.slug}")
+        self._queries[endpoint.slug] = endpoint
+        return endpoint
+
+    @property
+    def query_slugs(self) -> List[str]:
+        """Slugs of all exposed queries."""
+        return sorted(self._queries)
+
+    @property
+    def trigger_slugs(self) -> List[str]:
+        """Slugs of all exposed triggers."""
+        return sorted(self._triggers)
+
+    @property
+    def action_slugs(self) -> List[str]:
+        """Slugs of all exposed actions."""
+        return sorted(self._actions)
+
+    def trigger(self, slug: str) -> TriggerEndpoint:
+        """Look up a trigger endpoint."""
+        return self._triggers[slug]
+
+    def action(self, slug: str) -> ActionEndpoint:
+        """Look up an action endpoint."""
+        return self._actions[slug]
+
+    # -- platform lifecycle ---------------------------------------------------------
+
+    def published(self, engine_address: Address, service_key: str) -> None:
+        """Callback from the engine when this service is published.
+
+        Stores the engine-issued service key (used to authenticate all
+        future engine requests) and the engine address (for realtime
+        hints).
+        """
+        self.engine_address = engine_address
+        self.service_key = service_key
+
+    def grant_token(self, token: str) -> None:
+        """Mark an OAuth2 access token as valid for this service."""
+        self._valid_tokens.add(token)
+
+    def revoke_token(self, token: str) -> None:
+        """Invalidate an access token."""
+        self._valid_tokens.discard(token)
+
+    def register_identity(self, trigger_slug: str, identity: str, fields: Dict[str, Any]) -> None:
+        """Create the event buffer for one trigger identity.
+
+        The engine's first poll for a new applet registers the identity;
+        events arriving before registration are not retroactively visible,
+        matching the protocol.
+        """
+        if trigger_slug not in self._triggers:
+            raise KeyError(f"service {self.slug} has no trigger {trigger_slug!r}")
+        if identity not in self._identities:
+            self._identities[identity] = (trigger_slug, dict(fields), TriggerBuffer(self.buffer_capacity))
+
+    @property
+    def known_identities(self) -> List[str]:
+        """All registered trigger identities."""
+        return sorted(self._identities)
+
+    def buffer_for(self, identity: str) -> TriggerBuffer:
+        """The event buffer of a registered identity."""
+        return self._identities[identity][2]
+
+    # -- event ingestion -----------------------------------------------------------
+
+    def ingest_event(self, trigger_slug: str, event: Dict[str, Any]) -> int:
+        """Route one upstream event into matching identity buffers.
+
+        Returns the number of identities that buffered the event.  When the
+        service is realtime-capable, a hint naming each affected identity
+        is sent to the engine.
+        """
+        endpoint = self._triggers.get(trigger_slug)
+        if endpoint is None:
+            raise KeyError(f"service {self.slug} has no trigger {trigger_slug!r}")
+        self.events_ingested += 1
+        affected: List[str] = []
+        for identity, (slug, fields, buffer) in self._identities.items():
+            if slug != trigger_slug:
+                continue
+            if not endpoint.matcher(event, fields):
+                continue
+            buffer.append(TriggerEvent.create(self.now, **endpoint.ingredients(event)))
+            affected.append(identity)
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                f"service:{self.slug}",
+                "service_event_buffered",
+                trigger=trigger_slug,
+                identities=len(affected),
+            )
+        if affected and self.realtime:
+            self._send_realtime_hint(affected)
+        return len(affected)
+
+    def _send_realtime_hint(self, identities: List[str]) -> None:
+        if self.engine_address is None:
+            return
+        self.realtime_hints_sent += 1
+        self.post(
+            self.engine_address,
+            REALTIME_NOTIFY_PATH,
+            body={"data": [{"trigger_identity": identity} for identity in identities]},
+            headers={"IFTTT-Service-Key": self.service_key, "service_slug": self.slug},
+        )
+
+    # -- failure injection ---------------------------------------------------------
+
+    def set_outage(self, active: bool) -> None:
+        """Simulate a service outage: API requests return 503 while active.
+
+        Event ingestion from devices keeps working (device clouds buffer
+        independently of the IFTTT-facing API), so buffered trigger events
+        are delivered by the first successful poll after recovery —
+        exercising the engine's dedup and the client-visible latency spike.
+        """
+        self.outage = active
+
+    def _check_outage(self):
+        if self.outage:
+            self.requests_rejected_during_outage += 1
+            return 503, {"errors": [{"message": "service unavailable"}]}
+        return None
+
+    def _handle_status(self, request: HttpRequest):
+        rejected = self._check_outage()
+        if rejected is not None:
+            return rejected
+        return {"status": "ok", "service": self.slug}
+
+    # -- protocol handlers ------------------------------------------------------------
+
+    def _authenticate(self, request: HttpRequest) -> None:
+        if self.service_key is not None and request.header("IFTTT-Service-Key") != self.service_key:
+            self.auth_failures += 1
+            raise AuthError("bad service key")
+        token = request.header("Authorization", "")
+        if self._valid_tokens and not (
+            token.startswith("Bearer ") and token[len("Bearer "):] in self._valid_tokens
+        ):
+            self.auth_failures += 1
+            raise AuthError("bad bearer token")
+
+    def _handle_trigger_poll(self, request: HttpRequest):
+        rejected = self._check_outage()
+        if rejected is not None:
+            return rejected
+        try:
+            self._authenticate(request)
+        except AuthError as exc:
+            return 401, {"errors": [{"message": str(exc)}]}
+        slug = request.path[len(TRIGGER_PATH):]
+        endpoint = self._triggers.get(slug)
+        if endpoint is None:
+            return 404, {"errors": [{"message": f"unknown trigger {slug!r}"}]}
+        body = request.body or {}
+        identity = body.get("trigger_identity")
+        if not identity:
+            return 400, {"errors": [{"message": "missing trigger_identity"}]}
+        fields = body.get("triggerFields", {})
+        limit = int(body.get("limit", 50))
+        self.register_identity(slug, identity, fields)
+        events = self.buffer_for(identity).fetch(limit)
+        self.polls_served += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                f"service:{self.slug}",
+                "service_poll_served",
+                trigger=slug,
+                identity=identity,
+                returned=len(events),
+            )
+        return {"data": [event.to_wire() for event in events]}
+
+    def _handle_action(self, request: HttpRequest):
+        rejected = self._check_outage()
+        if rejected is not None:
+            return rejected
+        try:
+            self._authenticate(request)
+        except AuthError as exc:
+            return 401, {"errors": [{"message": str(exc)}]}
+        slug = request.path[len(ACTION_PATH):]
+        endpoint = self._actions.get(slug)
+        if endpoint is None:
+            return 404, {"errors": [{"message": f"unknown action {slug!r}"}]}
+        fields = (request.body or {}).get("actionFields", {})
+        self.actions_executed += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                f"service:{self.slug}",
+                "service_action_received",
+                action=slug,
+            )
+        result = endpoint.executor(fields)
+        return {"data": [{"id": f"{self.slug}:{slug}:{self.actions_executed}", "result": result}]}
+
+    def _handle_query(self, request: HttpRequest):
+        rejected = self._check_outage()
+        if rejected is not None:
+            return rejected
+        try:
+            self._authenticate(request)
+        except AuthError as exc:
+            return 401, {"errors": [{"message": str(exc)}]}
+        slug = request.path[len(QUERY_PATH):]
+        endpoint = self._queries.get(slug)
+        if endpoint is None:
+            return 404, {"errors": [{"message": f"unknown query {slug!r}"}]}
+        fields = (request.body or {}).get("queryFields", {})
+        rows = endpoint.executor(fields)
+        if not isinstance(rows, list):
+            rows = [rows]
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                f"service:{self.slug}",
+                "service_query_served",
+                query=slug,
+                rows=len(rows),
+            )
+        return {"data": rows}
+
+    # -- loop-analysis support -----------------------------------------------------------
+
+    def trigger_channels(self, slug: str, fields: Dict[str, Any]):
+        """Channels read by one of this service's triggers."""
+        return self._triggers[slug].reads_channels(fields)
+
+    def action_channels(self, slug: str, fields: Dict[str, Any]):
+        """Channels written by one of this service's actions."""
+        return self._actions[slug].writes_channels(fields)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PartnerService {self.slug!r} triggers={len(self._triggers)} "
+            f"actions={len(self._actions)} queries={len(self._queries)} "
+            f"realtime={self.realtime}>"
+        )

@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel.
+
+This package provides the deterministic, seeded discrete-event core on
+which every other subsystem (network, devices, the IFTTT engine, the
+testbed) runs.  It is deliberately small: an event heap
+(:class:`~repro.simcore.simulator.Simulator`), generator-based processes
+(:class:`~repro.simcore.process.Process`), a seeded random source with the
+distributions the calibration needs (:class:`~repro.simcore.rng.Rng`), and
+a structured trace recorder (:class:`~repro.simcore.trace.Trace`).
+
+Example
+-------
+>>> from repro.simcore import Simulator
+>>> sim = Simulator()
+>>> fired = []
+>>> sim.schedule(5.0, lambda: fired.append(sim.now))
+>>> sim.run()
+>>> fired
+[5.0]
+"""
+
+from repro.simcore.event import Event
+from repro.simcore.simulator import Simulator, SimulationError
+from repro.simcore.process import Process, Timeout, Signal, Interrupt
+from repro.simcore.rng import Rng
+from repro.simcore.trace import Trace, TraceRecord
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "Process",
+    "Timeout",
+    "Signal",
+    "Interrupt",
+    "Rng",
+    "Trace",
+    "TraceRecord",
+]

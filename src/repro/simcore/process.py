@@ -1,0 +1,196 @@
+"""Generator-based processes on top of the event simulator.
+
+A :class:`Process` wraps a Python generator.  The generator yields
+*awaitables* — :class:`Timeout` (sleep for simulated seconds) or
+:class:`Signal` (wait until another process fires it) — and is resumed by
+the simulator when the awaitable completes.  This gives sequential-looking
+code (poll loops, device firmware, test controllers) without callbacks.
+
+Example
+-------
+>>> from repro.simcore import Simulator, Process, Timeout
+>>> sim = Simulator()
+>>> ticks = []
+>>> def clock():
+...     while len(ticks) < 3:
+...         yield Timeout(10.0)
+...         ticks.append(sim.now)
+>>> _ = Process(sim, clock())
+>>> sim.run()
+>>> ticks
+[10.0, 20.0, 30.0]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.simcore.simulator import Simulator
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Timeout:
+    """Awaitable: resume the process after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be non-negative, got {delay}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay!r})"
+
+
+class Signal:
+    """Awaitable: a one-to-many broadcast condition.
+
+    Processes yield a Signal to block on it; ``fire(value)`` wakes every
+    waiter (in FIFO order) with ``value`` as the yield result.  A Signal can
+    be fired repeatedly; each firing only wakes the processes waiting at
+    that moment.
+    """
+
+    __slots__ = ("name", "_waiters", "fire_count", "last_value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+        self.fire_count = 0
+        self.last_value: Any = None
+
+    @property
+    def waiting(self) -> int:
+        """Number of processes currently blocked on this signal."""
+        return len(self._waiters)
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters with ``value``; return how many woke."""
+        self.fire_count += 1
+        self.last_value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            resume(value)
+        return len(waiters)
+
+    def _subscribe(self, resume: Callable[[Any], None]) -> None:
+        self._waiters.append(resume)
+
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        return f"<Signal{tag} waiting={self.waiting} fired={self.fire_count}>"
+
+
+class Process:
+    """A running generator coroutine bound to a simulator.
+
+    The generator may yield:
+
+    * ``Timeout(d)`` — resume after ``d`` simulated seconds; yields ``None``.
+    * ``Signal`` — resume when the signal fires; yields the fired value.
+    * ``Process`` — resume when that process finishes; yields its return value.
+
+    The process starts immediately (its first segment runs synchronously at
+    creation time up to the first yield).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Any, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._alive = True
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._done_signal = Signal(name=f"{self.name}.done")
+        self._pending_timeout = None
+        self._resume(None)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator (``None`` until finished)."""
+        return self._result
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """Exception that terminated the process, if any."""
+        return self._exception
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the generator at its current yield."""
+        if not self._alive:
+            return
+        if self._pending_timeout is not None:
+            self._pending_timeout.cancel()
+            self._pending_timeout = None
+        self._throw(Interrupt(cause))
+
+    def _resume(self, value: Any) -> None:
+        self._pending_timeout = None
+        if not self._alive:
+            return
+        try:
+            awaitable = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except Exception as exc:  # surface process crashes to the caller
+            self._finish(None, exc)
+            raise
+        self._handle(awaitable)
+
+    def _throw(self, exc: BaseException) -> None:
+        try:
+            awaitable = self._generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except Interrupt:
+            self._finish(None, None)
+            return
+        self._handle(awaitable)
+
+    def _handle(self, awaitable: Any) -> None:
+        if isinstance(awaitable, Timeout):
+            self._pending_timeout = self.sim.schedule(
+                awaitable.delay, self._resume, None, label=f"{self.name}.timeout"
+            )
+        elif isinstance(awaitable, Signal):
+            awaitable._subscribe(self._resume)
+        elif isinstance(awaitable, Process):
+            if awaitable.alive:
+                awaitable._done_signal._subscribe(self._resume)
+            else:
+                # Already finished: resume on the next event boundary.
+                self.sim.schedule(0.0, self._resume, awaitable.result)
+        else:
+            bad = type(awaitable).__name__
+            self._finish(None, TypeError(f"process yielded unsupported {bad}"))
+            raise TypeError(f"process {self.name!r} yielded unsupported {bad}")
+
+    def _finish(self, result: Any, exception: Optional[BaseException]) -> None:
+        self._alive = False
+        self._result = result
+        self._exception = exception
+        self._done_signal.fire(result)
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name!r} {state}>"

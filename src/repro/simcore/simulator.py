@@ -1,0 +1,165 @@
+"""The event-heap simulator driving all experiments."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.simcore.event import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    The simulator owns a binary heap of :class:`~repro.simcore.event.Event`
+    objects and a virtual clock ``now`` (seconds, float).  Time only moves
+    when events fire; between events nothing happens, so simulated
+    experiments that span days of virtual time run in milliseconds.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> order = []
+    >>> sim.schedule(2.0, lambda: order.append("b"))
+    >>> sim.schedule(1.0, lambda: order.append("a"))
+    >>> sim.run()
+    >>> order
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._running = False
+        self._stopped = False
+        self._fired_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly canceled) events still in the heap."""
+        return sum(1 for ev in self._heap if not ev.canceled)
+
+    @property
+    def fired_count(self) -> int:
+        """Total number of events that have fired so far."""
+        return self._fired_count
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which the caller may ``cancel()``.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at the absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at t={time} < now={self._now}")
+        event = Event(time, callback, args, priority=priority, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> bool:
+        """Fire the next non-canceled event.
+
+        Returns ``True`` if an event fired, ``False`` if the heap is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.canceled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self._now = event.time
+            self._fired_count += 1
+            event.fire()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the heap drains (or ``max_events`` fire).
+
+        Returns the number of events fired by this call.  ``max_events``
+        guards against runaway feedback loops (the testbed's infinite-loop
+        experiments rely on it).
+        """
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    break
+                if not self.step():
+                    break
+                fired += 1
+        finally:
+            self._running = False
+        return fired
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        """Run events with ``event.time <= time``; then advance the clock to ``time``.
+
+        Returns the number of events fired.
+        """
+        if time < self._now:
+            raise SimulationError(f"cannot run until t={time} < now={self._now}")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_event = self._peek()
+                if next_event is None or next_event.time > time:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if not self._stopped:
+            self._now = max(self._now, time)
+        return fired
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run`/:meth:`run_until` after the active event."""
+        self._stopped = True
+
+    def _peek(self) -> Optional[Event]:
+        """Return the next live event without popping it, discarding canceled ones."""
+        while self._heap:
+            event = self._heap[0]
+            if event.canceled:
+                heapq.heappop(self._heap)
+                continue
+            return event
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Simulator now={self._now:.6g} pending={self.pending}>"

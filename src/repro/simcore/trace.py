@@ -1,0 +1,122 @@
+"""Structured trace recording.
+
+Every vantage point in the testbed (local proxy, partner service, engine,
+test controller) appends :class:`TraceRecord` entries to a shared
+:class:`Trace`.  The §4 analyses (T2A latency, Table 5 timelines,
+sequential clustering) are pure queries over this trace — mirroring how
+the paper instrumented its testbed at multiple vantage points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One instrumented observation.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the observation (seconds).
+    source:
+        Vantage point that recorded it (e.g. ``"proxy"``, ``"engine"``).
+    kind:
+        Event kind (e.g. ``"trigger_set"``, ``"poll"``, ``"action_executed"``).
+    detail:
+        Free-form structured payload (applet id, run id, device name, ...).
+    """
+
+    time: float
+    source: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Shorthand for ``record.detail.get(key, default)``."""
+        return self.detail.get(key, default)
+
+
+class Trace:
+    """An append-only, queryable log of :class:`TraceRecord` entries."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, source: str, kind: str, **detail: Any) -> TraceRecord:
+        """Append and return a new record."""
+        rec = TraceRecord(time=time, source=source, kind=kind, detail=detail)
+        self._records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    def clear(self) -> None:
+        """Drop all records (used between experiment runs)."""
+        self._records.clear()
+
+    def query(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        where: Optional[Callable[[TraceRecord], bool]] = None,
+        **detail_equals: Any,
+    ) -> List[TraceRecord]:
+        """Filter records by kind, source, time window, and detail equality.
+
+        ``detail_equals`` keyword arguments must match the record's detail
+        dict exactly (e.g. ``trace.query(kind="poll", applet_id=3)``).
+        """
+        out: List[TraceRecord] = []
+        for rec in self._records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if source is not None and rec.source != source:
+                continue
+            if since is not None and rec.time < since:
+                continue
+            if until is not None and rec.time > until:
+                continue
+            if detail_equals and any(
+                rec.detail.get(k) != v for k, v in detail_equals.items()
+            ):
+                continue
+            if where is not None and not where(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def first(self, kind: str, **detail_equals: Any) -> Optional[TraceRecord]:
+        """First record matching the filters, or ``None``."""
+        matches = self.query(kind=kind, **detail_equals)
+        return matches[0] if matches else None
+
+    def last(self, kind: str, **detail_equals: Any) -> Optional[TraceRecord]:
+        """Last record matching the filters, or ``None``."""
+        matches = self.query(kind=kind, **detail_equals)
+        return matches[-1] if matches else None
+
+    def times(self, kind: str, **detail_equals: Any) -> List[float]:
+        """Timestamps of all matching records, in order."""
+        return [rec.time for rec in self.query(kind=kind, **detail_equals)]
+
+    def kinds(self) -> Dict[str, int]:
+        """Histogram of record kinds."""
+        counts: Dict[str, int] = {}
+        for rec in self._records:
+            counts[rec.kind] = counts.get(rec.kind, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"<Trace {len(self._records)} records>"

@@ -1,0 +1,76 @@
+"""The measurement testbed (Figure 1) and the §4 experiment harness.
+
+:class:`~repro.testbed.testbed.Testbed` assembles the full topology —
+home LAN (Hue lamp+hub, WeMo switch, Echo Dot, SmartThings hub, Nest,
+local proxy, gateway router), the cloud side (Alexa cloud, Gmail, Drive,
+Sheets, Weather, every official partner service, "Our Service", and the
+IFTTT engine) — on one simulator with one shared trace.
+
+:class:`~repro.testbed.controller.TestController` (Figure 1, ❾)
+automates experiments: it activates triggers (flipping the WeMo, playing
+voice commands to the Echo, delivering emails), records trigger time TT,
+observes action time TA, and computes trigger-to-action (T2A) latency.
+
+The experiment modules reproduce each §4 measurement:
+
+* :mod:`repro.testbed.t2a` — Figure 4 (A1-A7 on official services).
+* :mod:`repro.testbed.scenarios` — Figure 5 + Table 5 (E1/E2/E3).
+* :mod:`repro.testbed.sequential` — Figure 6 (clustered batched actions).
+* :mod:`repro.testbed.concurrent` — Figure 7 (same-trigger divergence).
+* :mod:`repro.testbed.loops` — the explicit/implicit infinite loops.
+"""
+
+from repro.testbed.testbed import Testbed, TestbedConfig
+from repro.testbed.applets import AppletSpec, APPLET_SUITE, applet_spec
+from repro.testbed.controller import TestController, T2AMeasurement
+from repro.testbed.scenarios import Scenario, build_scenario, run_scenario_t2a
+from repro.testbed.t2a import run_official_t2a, T2AResults
+from repro.testbed.sequential import run_sequential_experiment, SequentialResult, find_clusters
+from repro.testbed.concurrent import run_concurrent_experiment, ConcurrentResult
+from repro.testbed.loops import (
+    run_explicit_loop_experiment,
+    run_implicit_loop_experiment,
+    LoopExperimentResult,
+)
+from repro.testbed.timeline import capture_timeline, TimelineEntry
+from repro.testbed.workload import FleetWorld, FleetResult, run_fleet_experiment
+from repro.testbed.decomposition import StageBreakdown, run_decomposition, mean_shares
+from repro.testbed.scenario_gen import DailyScenario, ScenarioStats, diurnal_rate
+from repro.testbed.corpus_bridge import CorpusWorld, build_corpus_world, materialize_service
+
+__all__ = [
+    "Testbed",
+    "TestbedConfig",
+    "AppletSpec",
+    "APPLET_SUITE",
+    "applet_spec",
+    "TestController",
+    "T2AMeasurement",
+    "Scenario",
+    "build_scenario",
+    "run_scenario_t2a",
+    "run_official_t2a",
+    "T2AResults",
+    "run_sequential_experiment",
+    "SequentialResult",
+    "find_clusters",
+    "run_concurrent_experiment",
+    "ConcurrentResult",
+    "run_explicit_loop_experiment",
+    "run_implicit_loop_experiment",
+    "LoopExperimentResult",
+    "capture_timeline",
+    "TimelineEntry",
+    "FleetWorld",
+    "FleetResult",
+    "run_fleet_experiment",
+    "StageBreakdown",
+    "run_decomposition",
+    "mean_shares",
+    "DailyScenario",
+    "ScenarioStats",
+    "diurnal_rate",
+    "CorpusWorld",
+    "build_corpus_world",
+    "materialize_service",
+]

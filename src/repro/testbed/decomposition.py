@@ -1,0 +1,118 @@
+"""T2A latency decomposition: Table 5, distributionally.
+
+Table 5 breaks one execution of A2/E2 into stages; this module computes
+the same decomposition across many runs, quantifying each component's
+share of the total:
+
+* ``device_to_service`` — trigger event → proxy → service confirmation;
+* ``wait_for_poll``     — service has the event → engine's carrying poll;
+* ``poll_to_action``    — carrying poll → action request sent;
+* ``action_to_device``  — action request → device actuation observed.
+
+The paper's conclusion ("the polling interval dominates the overall T2A
+latency") becomes a measured share here, asserted by the §4 tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.testbed.applets import applet_spec
+from repro.testbed.scenarios import build_scenario
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """One run's component latencies (seconds)."""
+
+    device_to_service: float
+    wait_for_poll: float
+    poll_to_action: float
+    action_to_device: float
+
+    @property
+    def total(self) -> float:
+        """Sum of all components (≈ the run's T2A latency)."""
+        return (self.device_to_service + self.wait_for_poll
+                + self.poll_to_action + self.action_to_device)
+
+    @property
+    def poll_share(self) -> float:
+        """Fraction of the total spent waiting for the engine's poll."""
+        return self.wait_for_poll / self.total if self.total > 0 else 0.0
+
+
+def _carrying_poll_time(trace, since: float) -> Optional[float]:
+    for response in trace.query(kind="engine_poll_response", since=since):
+        if response.get("new", 0) > 0:
+            applet_id = response.get("applet_id")
+            polls = [
+                rec for rec in trace.query(kind="engine_poll_sent", since=since,
+                                           applet_id=applet_id)
+                if rec.time <= response.time
+            ]
+            return polls[-1].time if polls else None
+    return None
+
+
+def decompose_run(testbed, spec, trigger_time: float, action_time: float) -> Optional[StageBreakdown]:
+    """Decompose one completed run from the shared trace.
+
+    Returns ``None`` when a stage marker is missing (e.g. non-proxy
+    scenarios where the device path isn't instrumented).
+    """
+    trace = testbed.trace
+    confirmations = trace.query(kind="proxy_confirmed", since=trigger_time)
+    if not confirmations:
+        return None
+    confirmed_at = confirmations[0].time
+    polled_at = _carrying_poll_time(trace, since=trigger_time)
+    if polled_at is None:
+        return None
+    actions = trace.query(kind="engine_action_sent", since=trigger_time)
+    if not actions:
+        return None
+    action_sent_at = actions[0].time
+    return StageBreakdown(
+        device_to_service=confirmed_at - trigger_time,
+        wait_for_poll=polled_at - confirmed_at,
+        poll_to_action=action_sent_at - polled_at,
+        action_to_device=action_time - action_sent_at,
+    )
+
+
+def run_decomposition(
+    runs: int = 20, seed: int = 7, scenario_name: str = "E2", applet_key: str = "A2"
+) -> List[StageBreakdown]:
+    """Measure the stage decomposition across repeated runs of one applet."""
+    testbed, controller, chosen = build_scenario(scenario_name, seed=seed)
+    spec = applet_spec(applet_key)
+    controller.install(applet_key, variant=chosen.applet_variant)
+    testbed.run_for(5.0)
+    breakdowns: List[StageBreakdown] = []
+    for run in range(runs):
+        measurement = controller.run_once(spec, run=run)
+        if measurement.completed:
+            breakdown = decompose_run(
+                testbed, spec, measurement.trigger_time, measurement.action_time
+            )
+            if breakdown is not None:
+                breakdowns.append(breakdown)
+        testbed.run_for(testbed.rng.uniform(30.0, 200.0))
+    return breakdowns
+
+
+def mean_shares(breakdowns: List[StageBreakdown]) -> Dict[str, float]:
+    """Average share of the total per stage, over all runs."""
+    if not breakdowns:
+        raise ValueError("no breakdowns to average")
+    totals = {"device_to_service": 0.0, "wait_for_poll": 0.0,
+              "poll_to_action": 0.0, "action_to_device": 0.0}
+    for breakdown in breakdowns:
+        total = breakdown.total or 1.0
+        totals["device_to_service"] += breakdown.device_to_service / total
+        totals["wait_for_poll"] += breakdown.wait_for_poll / total
+        totals["poll_to_action"] += breakdown.poll_to_action / total
+        totals["action_to_device"] += breakdown.action_to_device / total
+    return {stage: share / len(breakdowns) for stage, share in totals.items()}

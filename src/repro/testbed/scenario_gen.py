@@ -1,0 +1,146 @@
+"""Day-in-the-life workload generation for the home testbed.
+
+Drives the testbed's devices and web apps the way a household does —
+morning and evening activity peaks on switches and voice, a workday
+email stream, ambient temperature following a daily cycle, weather
+changing on frontal timescales — so soak tests and capacity studies can
+run the engine against realistic, bursty, time-of-day-shaped input
+(§6 notes IoT workloads are highly bursty).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from repro.simcore.process import Process, Timeout
+from repro.simcore.rng import Rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.testbed.testbed import Testbed
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+
+def diurnal_rate(t: float, base_per_hour: float, morning_peak: float = 7.5,
+                 evening_peak: float = 19.5, width_hours: float = 2.0) -> float:
+    """Events/hour at simulated time ``t``: two Gaussian activity bumps.
+
+    Models human-driven device interaction: quiet overnight, a morning
+    bump around 7:30, a bigger evening bump around 19:30.
+    """
+    hour = (t % DAY) / HOUR
+    def bump(center: float, height: float) -> float:
+        distance = min(abs(hour - center), 24 - abs(hour - center))
+        return height * math.exp(-0.5 * (distance / width_hours) ** 2)
+    return base_per_hour * (0.15 + bump(morning_peak, 0.8) + bump(evening_peak, 1.0))
+
+
+@dataclass
+class ScenarioStats:
+    """What the scenario generator injected."""
+
+    switch_presses: int = 0
+    voice_commands: int = 0
+    emails: int = 0
+    weather_changes: int = 0
+    temperature_updates: int = 0
+
+
+class DailyScenario:
+    """Spawns the household processes onto a built testbed.
+
+    Each driver is a generator process sampling inter-event gaps from the
+    diurnal rate via thinning (sample at the peak rate, accept with
+    probability rate(t)/peak).
+    """
+
+    def __init__(self, testbed: "Testbed", seed: int = 1) -> None:
+        self.testbed = testbed
+        self.rng = Rng(seed=seed, name="scenario")
+        self.stats = ScenarioStats()
+        self._processes: List[Process] = []
+
+    def start(
+        self,
+        switch_per_hour: float = 2.0,
+        voice_per_hour: float = 3.0,
+        emails_per_hour: float = 4.0,
+        weather_dwell_hours: float = 6.0,
+    ) -> "DailyScenario":
+        """Spawn all drivers; returns self for chaining."""
+        sim = self.testbed.sim
+        self._processes = [
+            Process(sim, self._switch_driver(switch_per_hour), name="scenario.switch"),
+            Process(sim, self._voice_driver(voice_per_hour), name="scenario.voice"),
+            Process(sim, self._email_driver(emails_per_hour), name="scenario.email"),
+            Process(sim, self._weather_driver(weather_dwell_hours), name="scenario.weather"),
+            Process(sim, self._temperature_driver(), name="scenario.temperature"),
+        ]
+        return self
+
+    def stop(self) -> None:
+        """Interrupt all drivers."""
+        for process in self._processes:
+            process.interrupt("scenario stopped")
+
+    # -- drivers -----------------------------------------------------------------
+
+    def _thinned_wait(self, base_per_hour: float):
+        """Yield Timeouts until the next accepted diurnal event."""
+        peak = base_per_hour * 1.15  # max of the diurnal envelope
+        while True:
+            gap = self.rng.exponential(HOUR / peak)
+            yield Timeout(gap)
+            rate = diurnal_rate(self.testbed.sim.now, base_per_hour)
+            if self.rng.random() < rate / peak:
+                return
+
+    def _switch_driver(self, per_hour: float):
+        while True:
+            yield from self._thinned_wait(per_hour)
+            self.testbed.wemo.press()
+            self.stats.switch_presses += 1
+
+    def _voice_driver(self, per_hour: float):
+        phrases = ("Alexa, trigger light off", "Alexa, trigger movie time",
+                   "Alexa, play something mellow", "Alexa, add milk to my shopping list")
+        while True:
+            yield from self._thinned_wait(per_hour)
+            self.testbed.echo.hear(self.rng.choice(phrases))
+            self.stats.voice_commands += 1
+
+    def _email_driver(self, per_hour: float):
+        from repro.testbed.testbed import TEST_EMAIL
+
+        senders = ("boss@corp", "newsletter@list", "friend@mail", "alerts@bank")
+        count = 0
+        while True:
+            yield from self._thinned_wait(per_hour)
+            count += 1
+            self.testbed.gmail.deliver_email(
+                to=TEST_EMAIL,
+                sender=self.rng.choice(senders),
+                subject=f"scenario mail {count}",
+                attachments=("doc.pdf",) if self.rng.bernoulli(0.2) else (),
+            )
+            self.stats.emails += 1
+
+    def _weather_driver(self, dwell_hours: float):
+        from repro.webapps.weather import CONDITIONS
+
+        while True:
+            yield Timeout(self.rng.exponential(dwell_hours * HOUR))
+            self.testbed.weather.set_conditions("home", self.rng.choice(CONDITIONS))
+            self.stats.weather_changes += 1
+
+    def _temperature_driver(self, period: float = 900.0):
+        """Ambient temperature follows a smooth daily sinusoid + noise."""
+        while True:
+            yield Timeout(period)
+            hour = (self.testbed.sim.now % DAY) / HOUR
+            ambient = 20.0 + 4.0 * math.sin((hour - 9.0) / 24.0 * 2 * math.pi)
+            self.testbed.nest.sense_ambient(round(ambient + self.rng.normal(0, 0.3), 2))
+            self.stats.temperature_updates += 1

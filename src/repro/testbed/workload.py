@@ -1,0 +1,192 @@
+"""Fleet-scale workloads for engine scalability experiments.
+
+§6 ("Performance Improvements") argues why IFTTT may resist full push:
+*"if all trigger services perform push, the incurred instantaneous
+workload may be too high: IoT workload is known to be highly bursty; for
+IFTTT it is likely also the case (consider popular applets such as
+'update wallpaper with new NASA photo')"*.
+
+This module builds that scenario: one popular trigger (a content
+publication) shared by a whole fleet of installed applets.  Under
+polling, the engine's requests spread over each applet's independent
+polling schedule; under push, every publication makes the engine poll
+every affected identity at once — an instantaneous request spike at both
+the engine and the trigger service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.engine.applet import ActionRef, TriggerRef
+from repro.engine.config import EngineConfig
+from repro.engine.engine import IftttEngine
+from repro.engine.oauth import OAuthAuthority
+from repro.net.address import Address
+from repro.net.latency import cloud_internal_latency
+from repro.net.network import Network
+from repro.services.endpoints import ActionEndpoint, TriggerEndpoint
+from repro.services.partner import PartnerService
+from repro.simcore.rng import Rng
+from repro.simcore.simulator import Simulator
+from repro.simcore.trace import Trace
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one fleet experiment."""
+
+    n_applets: int
+    publications: int
+    actions_executed: int
+    latencies: List[float]
+    poll_times: List[float]
+
+    def peak_polls_per_second(self, window: float = 1.0) -> int:
+        """Maximum engine polls in any ``window``-second interval."""
+        if not self.poll_times:
+            return 0
+        ordered = sorted(self.poll_times)
+        peak = 0
+        start = 0
+        for end, t in enumerate(ordered):
+            while ordered[start] < t - window:
+                start += 1
+            peak = max(peak, end - start + 1)
+        return peak
+
+    def mean_polls_per_second(self) -> float:
+        """Average engine poll rate over the experiment."""
+        if len(self.poll_times) < 2:
+            return 0.0
+        span = max(self.poll_times) - min(self.poll_times)
+        return len(self.poll_times) / span if span > 0 else float("inf")
+
+    def burstiness(self) -> float:
+        """Peak-to-mean poll rate ratio — §6's instantaneous-workload concern."""
+        mean = self.mean_polls_per_second()
+        return self.peak_polls_per_second() / mean if mean > 0 else 0.0
+
+    def median_latency(self) -> float:
+        """Median publication-to-action latency."""
+        ordered = sorted(self.latencies)
+        return ordered[len(ordered) // 2] if ordered else float("nan")
+
+
+class FleetWorld:
+    """A content service with one popular trigger and a large applet fleet.
+
+    Every installed applet subscribes to the same logical trigger
+    ("new photo published"); a publication event fans out to all
+    identities — the NASA-wallpaper shape.
+    """
+
+    def __init__(
+        self,
+        n_applets: int,
+        engine_config: Optional[EngineConfig] = None,
+        realtime: bool = False,
+        seed: int = 5,
+    ) -> None:
+        self.n_applets = n_applets
+        self.sim = Simulator()
+        self.rng = Rng(seed=seed, name="fleet")
+        self.trace = Trace()
+        self.network = Network(self.sim, self.rng.fork("net"))
+        self.engine = self.network.add_node(IftttEngine(
+            Address("engine.ifttt.cloud"),
+            config=engine_config or EngineConfig(),
+            rng=self.rng.fork("engine"),
+            trace=self.trace,
+            service_time=0.0,
+        ))
+        self.content = self.network.add_node(PartnerService(
+            Address("content.cloud"), slug="content", trace=self.trace,
+            realtime=realtime, service_time=0.0,
+        ))
+        self.actions_executed = 0
+        self.action_times: List[float] = []
+        self.content.add_trigger(TriggerEndpoint(
+            slug="new_photo",
+            name="New photo published",
+            ingredients=lambda event: {"photo": event.get("photo", "")},
+        ))
+        self.content.add_action(ActionEndpoint(
+            slug="set_wallpaper",
+            name="Update wallpaper",
+            executor=self._record_action,
+        ))
+        self.network.connect(self.engine.address, self.content.address, cloud_internal_latency())
+        self.engine.publish_service(self.content)
+        authority = OAuthAuthority("content")
+        for index in range(n_applets):
+            user = f"user{index:05d}"
+            authority.register_user(user, "pw")
+            self.engine.connect_service(user, self.content, authority, "pw")
+            self.engine.install_applet(
+                user=user,
+                name=f"wallpaper applet #{index}",
+                trigger=TriggerRef("content", "new_photo"),
+                action=ActionRef("content", "set_wallpaper", {"photo": "{{photo}}"}),
+            )
+        # let registration polls drain before measurement starts
+        warmup = (
+            self.engine.config.initial_poll_delay
+            + self.engine.config.initial_poll_jitter
+            + 5.0
+        )
+        self.sim.run_until(warmup)
+
+    def _record_action(self, fields: Dict) -> None:
+        self.actions_executed += 1
+        self.action_times.append(self.sim.now)
+
+    def publish(self, photo: str) -> None:
+        """One content publication: the event reaches every identity."""
+        self.content.ingest_event("new_photo", {"photo": photo})
+
+    def run_publications(self, publications: int = 5, spacing: float = 900.0) -> FleetResult:
+        """Publish ``publications`` times and collect fleet statistics.
+
+        Poll statistics cover only the publication window, excluding the
+        fleet's registration warm-up.
+        """
+        measure_start = self.sim.now
+        latencies: List[float] = []
+        for index in range(publications):
+            published_at = self.sim.now
+            before = self.actions_executed
+            self.publish(f"photo-{index}")
+            self.sim.run_until(self.sim.now + spacing)
+            latencies.extend(
+                t - published_at for t in self.action_times[before:]
+            )
+        return FleetResult(
+            n_applets=self.n_applets,
+            publications=publications,
+            actions_executed=self.actions_executed,
+            latencies=latencies,
+            poll_times=[
+                t for t in self.trace.times("engine_poll_sent") if t >= measure_start
+            ],
+        )
+
+
+def run_fleet_experiment(
+    n_applets: int = 200,
+    push: bool = False,
+    publications: int = 5,
+    seed: int = 5,
+) -> FleetResult:
+    """Run the NASA-wallpaper fleet under polling or push.
+
+    ``push=True`` makes the content service realtime-capable *and* the
+    engine honour every hint — the full-push world §6 contemplates.
+    """
+    config = EngineConfig(
+        realtime_allowlist=None if push else frozenset(),
+        initial_poll_jitter=300.0,
+    )
+    world = FleetWorld(n_applets, engine_config=config, realtime=push, seed=seed)
+    return world.run_publications(publications=publications)

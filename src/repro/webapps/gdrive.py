@@ -1,0 +1,100 @@
+"""Google Drive model.
+
+The action side of applet A4 (*automatically save new gmail attachments to
+google drive*) and a generic cloud-storage logging target (Table 1,
+category 6 — cloud storage actions carry 13.6% of action add count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.address import Address
+from repro.net.http import HttpRequest
+from repro.simcore.trace import Trace
+from repro.webapps.base import WebApp
+
+
+@dataclass
+class DriveFile:
+    """One stored file."""
+
+    file_id: int
+    owner: str
+    name: str
+    folder: str
+    size_bytes: int
+    uploaded_at: float
+
+
+class GoogleDrive(WebApp):
+    """Per-user cloud file storage.
+
+    Routes
+    ------
+    ``POST /api/upload`` — ``{user, name, folder?, size_bytes?}``.
+    ``GET /api/files`` — ``{user, folder?, since_id?}``.
+    """
+
+    APP_NAME = "gdrive"
+
+    def __init__(self, address: Address, trace: Optional[Trace] = None, service_time: float = 0.04) -> None:
+        super().__init__(address, trace=trace, service_time=service_time)
+        self._files: Dict[str, List[DriveFile]] = {}
+        self._next_file_id = 1
+        self.add_route("POST", "/api/upload", self._handle_upload)
+        self.add_route("GET", "/api/files", self._handle_files)
+
+    def upload(self, user: str, name: str, folder: str = "/", size_bytes: int = 0) -> DriveFile:
+        """Store a file for ``user``; returns the stored record."""
+        entry = DriveFile(
+            file_id=self._next_file_id,
+            owner=user,
+            name=name,
+            folder=folder,
+            size_bytes=size_bytes,
+            uploaded_at=self.now if self.network is not None else 0.0,
+        )
+        self._next_file_id += 1
+        self._files.setdefault(user, []).append(entry)
+        self.log_activity("file_uploaded", user=user, name=name, folder=folder, file_id=entry.file_id)
+        return entry
+
+    def files(self, user: str, folder: Optional[str] = None) -> List[DriveFile]:
+        """A user's files, optionally restricted to one folder."""
+        return [
+            f for f in self._files.get(user, []) if folder is None or f.folder == folder
+        ]
+
+    def _handle_upload(self, request: HttpRequest):
+        body = request.body or {}
+        for required in ("user", "name"):
+            if required not in body:
+                return 400, {"error": f"missing field {required!r}"}
+        entry = self.upload(
+            user=body["user"],
+            name=body["name"],
+            folder=body.get("folder", "/"),
+            size_bytes=int(body.get("size_bytes", 0)),
+        )
+        return {"file_id": entry.file_id}
+
+    def _handle_files(self, request: HttpRequest):
+        body = request.body or {}
+        user = body.get("user")
+        if not user:
+            return 400, {"error": "missing field 'user'"}
+        since_id = int(body.get("since_id", 0))
+        listed = [
+            {
+                "file_id": f.file_id,
+                "name": f.name,
+                "folder": f.folder,
+                "size_bytes": f.size_bytes,
+                "uploaded_at": f.uploaded_at,
+            }
+            for f in self.files(user, folder=body.get("folder"))
+            if f.file_id > since_id
+        ]
+        return {"files": listed}

@@ -1,0 +1,57 @@
+"""Tests for cross-snapshot churn analysis."""
+
+import pytest
+
+from repro.analysis.churn import churn_between, weekly_churn
+
+
+class TestChurnBetween:
+    def test_ordering_enforced(self, snapshot_store):
+        later = snapshot_store.last()
+        earlier = snapshot_store.first()
+        with pytest.raises(ValueError):
+            churn_between(later, earlier)
+
+    def test_growth_only_corpus_never_removes(self, snapshot_store):
+        report = churn_between(snapshot_store.first(), snapshot_store.last())
+        assert report.services_removed == []
+        assert report.applets_removed == []
+
+    def test_additions_counted(self, snapshot_store):
+        report = churn_between(snapshot_store.first(), snapshot_store.last())
+        assert len(report.services_added) > 0
+        assert report.triggers_added > 0
+        assert report.actions_added > 0
+        assert len(report.applets_added) > 0
+        assert report.add_count_delta > 0
+
+    def test_additions_match_summaries(self, snapshot_store):
+        earlier, later = snapshot_store.first(), snapshot_store.last()
+        report = churn_between(earlier, later)
+        assert len(report.services_added) == (
+            later.summary()["services"] - earlier.summary()["services"]
+        )
+        assert len(report.applets_added) == (
+            later.summary()["applets"] - earlier.summary()["applets"]
+        )
+
+    def test_top_gainers_sorted_and_positive(self, snapshot_store):
+        report = churn_between(snapshot_store.first(), snapshot_store.last(), top_k=5)
+        gains = [gained for _, _, gained in report.top_gainers]
+        assert gains == sorted(gains, reverse=True)
+        assert all(g > 0 for g in gains)
+        assert len(report.top_gainers) <= 5
+
+    def test_birth_rate(self, snapshot_store):
+        report = churn_between(snapshot_store.first(), snapshot_store.last())
+        weeks = report.later_week - report.earlier_week
+        assert report.applet_birth_rate == pytest.approx(len(report.applets_added) / weeks)
+
+
+class TestWeeklyChurn:
+    def test_consecutive_reports(self, snapshot_store):
+        reports = weekly_churn(snapshot_store)
+        assert len(reports) == len(snapshot_store) - 1
+        for report in reports:
+            assert report.earlier_week < report.later_week
+            assert report.add_count_delta > 0

@@ -1,0 +1,48 @@
+"""Tests for the cross-study growth trajectory."""
+
+import math
+
+import pytest
+
+from repro.analysis.history import (
+    STUDY_POINTS,
+    fit_exponential,
+    fit_residuals,
+)
+
+
+class TestStudyPoints:
+    def test_paper_values(self):
+        counts = [count for _, count, _ in STUDY_POINTS]
+        assert counts == [67_000, 224_000, 320_000]
+
+    def test_chronological(self):
+        years = [year for year, _, _ in STUDY_POINTS]
+        assert years == sorted(years)
+
+
+class TestFit:
+    def test_growth_is_positive_and_fast(self):
+        fit = fit_exponential()
+        # 67K -> 320K over ~3.8 years is ~+50%/year
+        assert 0.3 < fit.annual_growth < 0.9
+        assert 1.0 < fit.doubling_time_years < 2.5
+
+    def test_projection_brackets_observations(self):
+        fit = fit_exponential()
+        assert fit.project(2013.0) < 120_000
+        assert fit.project(2017.0) > 250_000
+
+    def test_residuals_modest(self):
+        # three points, two parameters: the fit tracks within ~30%
+        assert all(abs(r) < 0.3 for r in fit_residuals())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_exponential([(2015.0, 10, "one point")])
+        with pytest.raises(ValueError):
+            fit_exponential([(2015.0, 10, "a"), (2015.0, 20, "b")])
+
+    def test_flat_series_never_doubles(self):
+        fit = fit_exponential([(2014.0, 100, "a"), (2016.0, 100, "b")])
+        assert math.isinf(fit.doubling_time_years)

@@ -1,0 +1,83 @@
+"""Paper-vs-measured calibration tests.
+
+These assert the *shape* claims of §4 — who wins, by what rough factor,
+where the quartiles sit — with tolerances appropriate for sampled runs.
+They are the guardrails for EXPERIMENTS.md: if a refactor moves latency
+behaviour off the paper's, these fail first.
+"""
+
+import pytest
+
+from repro.simcore.rng import quantiles
+from repro.testbed import Testbed, TestbedConfig, TestController
+from repro.testbed.sequential import run_sequential_extreme
+from repro.testbed.t2a import run_hosted_alexa_t2a
+
+
+@pytest.fixture(scope="module")
+def pooled_a1_a4():
+    """Pooled latencies of A1-A4 on official services, 25 runs each."""
+    pooled = []
+    for index, key in enumerate(("A1", "A2", "A3", "A4")):
+        testbed = Testbed(TestbedConfig(seed=1000 + index)).build()
+        controller = TestController(testbed)
+        pooled.extend(controller.measure_t2a(key, runs=25, spacing=150.0))
+    return pooled
+
+
+@pytest.fixture(scope="module")
+def alexa_latencies():
+    """Pooled latencies of A5-A7 (Alexa triggers), 10 runs each."""
+    pooled = []
+    for index, key in enumerate(("A5", "A6", "A7")):
+        testbed = Testbed(TestbedConfig(seed=2000 + index)).build()
+        controller = TestController(testbed)
+        pooled.extend(controller.measure_t2a(key, runs=10, spacing=60.0))
+    return pooled
+
+
+class TestFigure4:
+    def test_poll_bound_quartiles_in_band(self, pooled_a1_a4):
+        """Paper: 25th/50th/75th = 58/84/122 s for A1-A4."""
+        q25, q50, q75 = quantiles(pooled_a1_a4, (0.25, 0.50, 0.75))
+        assert 25 <= q25 <= 90
+        assert 50 <= q50 <= 120
+        assert 85 <= q75 <= 170
+
+    def test_latency_is_highly_variable(self, pooled_a1_a4):
+        q25, _, q75 = quantiles(pooled_a1_a4, (0.25, 0.50, 0.75))
+        assert q75 / q25 > 1.5
+
+    def test_extreme_tail_reaches_minutes(self, pooled_a1_a4):
+        """Paper: the T2A latency can reach 15 minutes."""
+        assert max(pooled_a1_a4) > 250
+
+    def test_all_runs_complete(self, pooled_a1_a4):
+        assert len(pooled_a1_a4) == 100
+
+    def test_alexa_applets_are_fast(self, alexa_latencies):
+        """A5-A7's realtime hints are honoured: latency in seconds."""
+        _, median, _ = quantiles(alexa_latencies, (0.25, 0.5, 0.75))
+        assert median < 5.0
+
+    def test_alexa_vs_pollbound_gap(self, pooled_a1_a4, alexa_latencies):
+        poll_median = quantiles(pooled_a1_a4, (0.5,))[0]
+        alexa_median = quantiles(alexa_latencies, (0.5,))[0]
+        assert poll_median / alexa_median > 10
+
+
+class TestHostedAlexa:
+    def test_hosting_alexa_ourselves_is_slow(self):
+        """§4: "When we use our own service to host Alexa, its latency
+        becomes large" — our service's hints are not allowlisted."""
+        latencies = run_hosted_alexa_t2a(runs=6, seed=31)
+        assert len(latencies) == 6
+        assert quantiles(latencies, (0.5,))[0] > 30.0
+
+
+class TestFigure6Extreme:
+    def test_loaded_engine_inflates_inter_cluster_gap(self):
+        """Paper: the polling delay between clusters inflated to 14 min."""
+        result = run_sequential_extreme(seed=41)
+        assert len(result.clusters) >= 2
+        assert result.max_inter_cluster_gap > 250.0

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_t2a_applet_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["t2a", "--applet", "A9"])
+
+
+class TestCommands:
+    def test_t2a_e3(self, capsys):
+        assert main(["t2a", "--applet", "A2", "--scenario", "E3", "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "A2 under E3" in out
+        assert "p50=" in out
+
+    def test_t2a_unknown_scenario(self, capsys):
+        assert main(["t2a", "--scenario", "E9", "--runs", "1"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "polls trigger service" in out
+
+    def test_loops_explicit(self, capsys):
+        assert main(["loops", "--kind", "explicit", "--duration", "1800"]) == 0
+        out = capsys.readouterr().out
+        assert "self-sustained: True" in out
+        assert "static analysis (blind): 1" in out
+
+    def test_loops_runtime_detection(self, capsys):
+        assert main(["loops", "--kind", "implicit", "--duration", "3600",
+                     "--runtime-detection"]) == 0
+        out = capsys.readouterr().out
+        assert "flagged" in out
+
+    def test_fleet(self, capsys):
+        assert main(["fleet", "--applets", "10", "--publications", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "actions executed: 10" in out
+
+    def test_ecosystem_with_save(self, capsys, tmp_path):
+        path = tmp_path / "snapshots.json"
+        assert main(["ecosystem", "--scale", "0.005", "--save", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "IoT:" in out
+        assert path.exists()
+
+
+class TestNewCommands:
+    def test_decompose(self, capsys):
+        assert main(["decompose", "--runs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "wait_for_poll" in out
+
+    def test_export_figures(self, capsys, tmp_path):
+        assert main(["export-figures", "--output", str(tmp_path),
+                     "--scale", "0.005", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4_a1_a4" in out
+        assert (tmp_path / "fig2_heatmap.csv").exists()

@@ -1,0 +1,57 @@
+"""Tests for the corpus-to-engine bridge."""
+
+import pytest
+
+from repro.engine import EngineConfig, FixedPollingPolicy
+from repro.testbed.corpus_bridge import build_corpus_world, materialize_service
+
+
+class TestMaterializeService:
+    def test_endpoints_mirrored(self, small_corpus):
+        record = small_corpus.service("amazon_alexa")
+        service = materialize_service(record)
+        assert len(service.trigger_slugs) == len(record.triggers)
+        assert service.slug == "amazon_alexa"
+
+    def test_actions_record_invocations(self, small_corpus):
+        record = small_corpus.service("philips_hue")
+        service = materialize_service(record)
+        slug = service.action_slugs[0]
+        service.action(slug).executor({"x": 1})
+        assert service.executed_actions == [slug]
+
+
+class TestCorpusWorld:
+    @pytest.fixture(scope="class")
+    def world(self, small_corpus):
+        config = EngineConfig(poll_policy=FixedPollingPolicy(5.0),
+                              initial_poll_delay=0.5, initial_poll_jitter=5.0)
+        return build_corpus_world(small_corpus, n_applets=40, engine_config=config, seed=17)
+
+    def test_sampled_count(self, world):
+        assert len(world.applets) == 40
+        assert len(world.corpus_applets) == 40
+        assert len({a.applet_id for a in world.corpus_applets}) == 40
+
+    def test_only_touched_services_materialized(self, world):
+        touched = {r.trigger_service_slug for r in world.corpus_applets} | {
+            r.action_service_slug for r in world.corpus_applets
+        }
+        assert set(world.services) == touched
+
+    def test_popular_services_likely_present(self, world):
+        """Popularity weighting should pull in at least one anchor."""
+        anchors = {"amazon_alexa", "philips_hue", "facebook", "twitter", "gmail"}
+        assert anchors & set(world.services)
+
+    def test_end_to_end_execution(self, world):
+        world.run_for(15.0)  # let registration polls land
+        action_service = world.services[world.corpus_applets[0].action_service_slug]
+        before = len(action_service.executed_actions)
+        world.fire_trigger(0, payload="x")
+        world.run_for(20.0)
+        assert len(action_service.executed_actions) > before
+
+    def test_engine_polls_whole_fleet(self, world):
+        world.run_for(30.0)
+        assert world.engine.polls_sent >= len(world.applets)

@@ -1,0 +1,150 @@
+"""Tests for the frontend pages, parsers, crawler, and snapshot store."""
+
+import pytest
+
+from repro.crawler import (
+    CrawlSnapshot,
+    IftttCrawler,
+    ParseError,
+    SnapshotStore,
+    parse_applet_page,
+    parse_index_page,
+    parse_service_page,
+)
+from repro.frontend import render_applet_page, render_index_page
+
+
+class TestFrontend:
+    def test_index_page_lists_services(self, small_corpus, small_site):
+        page = small_site.fetch("/services")
+        assert page is not None
+        assert page.count("service-link") == 408
+
+    def test_service_page_renders(self, small_site):
+        page = small_site.fetch("/services/philips_hue")
+        assert "Philips Hue" in page
+        assert 'class="action"' in page
+
+    def test_unknown_service_404(self, small_site):
+        assert small_site.fetch("/services/ghost") is None
+
+    def test_applet_page_renders(self, small_corpus, small_site):
+        applet_id = next(iter(small_corpus.applets))
+        page = small_site.fetch(f"/applets/{applet_id}")
+        assert "applet-name" in page
+        assert "add-count" in page
+
+    def test_missing_applet_404(self, small_site):
+        assert small_site.fetch("/applets/999999") is None
+        assert small_site.fetch("/applets/not-a-number") is None
+
+    def test_unknown_path_404(self, small_site):
+        assert small_site.fetch("/nonsense") is None
+
+    def test_week_filtering(self, small_corpus, small_site):
+        late_services = [s for s in small_corpus.services.values() if s.created_week > 10]
+        assert late_services, "need an in-window service for this test"
+        slug = late_services[0].slug
+        assert small_site.fetch(f"/services/{slug}", week=0) is None
+        assert small_site.fetch(f"/services/{slug}", week=24) is not None
+
+    def test_html_escaping(self, small_corpus):
+        from repro.ecosystem.corpus import AppletRecord
+
+        applet = AppletRecord(1, "a <b> & c", "d", "t", "s", "a", "s2", "user", True, 5)
+        page = render_applet_page(applet, "T", "TS", "A", "AS", 5)
+        assert "&lt;b&gt;" in page
+
+
+class TestParsers:
+    def test_index_round_trip(self, small_corpus):
+        page = render_index_page(small_corpus.services_at())
+        entries = parse_index_page(page)
+        assert len(entries) == 408
+        assert {"slug", "name"} <= set(entries[0])
+
+    def test_index_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            parse_index_page("<html><body>nope</body></html>")
+
+    def test_service_round_trip(self, small_corpus, small_site):
+        page = small_site.fetch("/services/amazon_alexa")
+        parsed = parse_service_page(page)
+        assert parsed["name"] == "Amazon Alexa"
+        assert any(t["name"] == "Say a phrase" for t in parsed["triggers"])
+
+    def test_service_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            parse_service_page("<html></html>")
+
+    def test_applet_round_trip(self, small_corpus, small_site):
+        applet_id, applet = next(iter(small_corpus.applets.items()))
+        page = small_site.fetch(f"/applets/{applet_id}")
+        parsed = parse_applet_page(page)
+        assert parsed["add_count"] == applet.add_count
+        assert parsed["trigger_service_slug"] == applet.trigger_service_slug
+        assert parsed["author"] == applet.author
+
+    def test_applet_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            parse_applet_page("<html></html>")
+
+
+class TestCrawler:
+    def test_snapshot_matches_ground_truth(self, small_corpus, small_snapshot):
+        assert small_snapshot.summary() == small_corpus.summary()
+
+    def test_applet_fields_preserved(self, small_corpus, small_snapshot):
+        for applet_id in list(small_corpus.applets)[:200]:
+            truth = small_corpus.applets[applet_id]
+            crawled = small_snapshot.applets[applet_id]
+            assert crawled.add_count == truth.add_count
+            assert crawled.author_is_user == truth.author_is_user
+            assert crawled.trigger_service_slug == truth.trigger_service_slug
+
+    def test_weekly_snapshot_smaller(self, small_corpus, small_site):
+        early = IftttCrawler(small_site).crawl(week=0)
+        final = small_corpus.summary()
+        assert early.summary()["applets"] < final["applets"]
+        assert early.summary()["add_count"] < final["add_count"]
+
+    def test_id_floor_validation(self, small_site):
+        with pytest.raises(ValueError):
+            IftttCrawler(small_site, id_floor=10, id_ceiling=10)
+
+    def test_probing_stats(self, small_snapshot):
+        assert small_snapshot.ids_probed > len(small_snapshot.applets)
+        assert small_snapshot.pages_fetched > 408
+
+    def test_snapshot_serialization_round_trip(self, small_snapshot, tmp_path):
+        store = SnapshotStore()
+        store.add(small_snapshot)
+        path = tmp_path / "snapshots.json"
+        store.save(path)
+        loaded = SnapshotStore.load(path)
+        assert loaded.last().summary() == small_snapshot.summary()
+
+
+class TestSnapshotStore:
+    def test_growth_requires_two(self, small_snapshot):
+        store = SnapshotStore()
+        store.add(small_snapshot)
+        with pytest.raises(ValueError):
+            store.growth()
+
+    def test_growth_computation(self, snapshot_store):
+        growth = snapshot_store.growth()
+        assert growth["services"] > 0
+        assert growth["add_count"] > 0.1
+
+    def test_weeks_sorted(self, snapshot_store):
+        assert snapshot_store.weeks() == sorted(snapshot_store.weeks())
+        assert snapshot_store.first().week == 0
+        assert snapshot_store.last().week == 24
+
+    def test_weekly_summaries_monotone_applets(self, snapshot_store):
+        counts = [s["applets"] for s in snapshot_store.weekly_summaries()]
+        assert counts == sorted(counts)
+
+    def test_snapshot_date(self, small_snapshot):
+        assert small_snapshot.date.startswith("2017")  # week 24 = April 2017

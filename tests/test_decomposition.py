@@ -1,0 +1,55 @@
+"""Tests for the T2A latency decomposition."""
+
+import pytest
+
+from repro.testbed.decomposition import (
+    StageBreakdown,
+    mean_shares,
+    run_decomposition,
+)
+
+
+class TestStageBreakdown:
+    def test_total_and_share(self):
+        breakdown = StageBreakdown(
+            device_to_service=0.2, wait_for_poll=80.0,
+            poll_to_action=1.0, action_to_device=0.8,
+        )
+        assert breakdown.total == pytest.approx(82.0)
+        assert breakdown.poll_share == pytest.approx(80.0 / 82.0)
+
+    def test_zero_total_share(self):
+        breakdown = StageBreakdown(0.0, 0.0, 0.0, 0.0)
+        assert breakdown.poll_share == 0.0
+
+
+class TestRunDecomposition:
+    @pytest.fixture(scope="class")
+    def breakdowns(self):
+        return run_decomposition(runs=12, seed=9)
+
+    def test_most_runs_decompose(self, breakdowns):
+        assert len(breakdowns) >= 10
+
+    def test_poll_wait_dominates(self, breakdowns):
+        """The paper's core §4 claim, as a measured share."""
+        shares = mean_shares(breakdowns)
+        assert shares["wait_for_poll"] > 0.9
+        assert sum(shares.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_device_and_action_paths_are_fast(self, breakdowns):
+        for breakdown in breakdowns:
+            assert breakdown.device_to_service < 2.0    # Table 5: 0.16 s
+            assert breakdown.poll_to_action < 5.0       # Table 5: ~1 s
+            assert breakdown.action_to_device < 5.0     # Table 5: ~1.7 s
+
+    def test_components_nonnegative(self, breakdowns):
+        for breakdown in breakdowns:
+            assert breakdown.device_to_service >= 0
+            assert breakdown.wait_for_poll >= 0
+            assert breakdown.poll_to_action >= 0
+            assert breakdown.action_to_device >= 0
+
+    def test_mean_shares_requires_data(self):
+        with pytest.raises(ValueError):
+            mean_shares([])

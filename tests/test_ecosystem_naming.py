@@ -1,0 +1,102 @@
+"""Tests for name generation and the generator's sampling internals."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecosystem.categories import CATEGORIES
+from repro.ecosystem.generator import _WeightedSampler, _largest_remainder
+from repro.ecosystem.naming import (
+    action_names,
+    applet_name,
+    service_description,
+    service_name,
+    slugify,
+    trigger_names,
+)
+from repro.simcore import Rng
+
+
+class TestSlugify:
+    def test_basic(self):
+        assert slugify("Philips Hue") == "philips_hue"
+
+    def test_punctuation_collapsed(self):
+        assert slugify("A--B  C!!") == "a_b_c"
+
+    def test_leading_trailing_stripped(self):
+        assert slugify("  -x- ") == "x"
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=50)
+    def test_output_alphabet(self, text):
+        slug = slugify(text)
+        assert all(c.islower() or c.isdigit() or c == "_" for c in slug)
+        assert not slug.startswith("_") and not slug.endswith("_")
+
+
+class TestNameGeneration:
+    def test_service_names_unique_within_category(self):
+        rng = Rng(1)
+        for cat in CATEGORIES:
+            names = [service_name(cat, i, rng) for i in range(160)]
+            assert len(names) == len(set(names)), cat.name
+
+    def test_trigger_names_unique_per_service(self):
+        rng = Rng(2)
+        for cat in CATEGORIES:
+            names = trigger_names(cat, "Acme Widget", 12, rng)
+            assert len(names) == len(set(names)) == 12
+
+    def test_action_names_unique_per_service(self):
+        rng = Rng(3)
+        for cat in CATEGORIES:
+            names = action_names(cat, "Acme Widget", 8, rng)
+            assert len(names) == len(set(names)) == 8
+
+    def test_descriptions_carry_category_vocabulary(self):
+        """The classifier depends on descriptions using category keywords."""
+        for cat in CATEGORIES:
+            description = service_description(cat, "Acme").lower()
+            assert any(keyword in description for keyword in cat.example_keywords)
+
+    def test_applet_name_mentions_both_sides(self):
+        name = applet_name("New email", "Gmail", "Turn on", "Hue")
+        assert "Gmail" in name and "Hue" in name
+
+
+class TestWeightedSampler:
+    def test_respects_weights(self):
+        sampler = _WeightedSampler([1.0, 9.0])
+        rng = Rng(5)
+        hits = sum(sampler.sample(rng) for _ in range(5000))
+        assert hits / 5000 == pytest.approx(0.9, abs=0.03)
+
+    def test_rejects_empty_and_zero(self):
+        with pytest.raises(ValueError):
+            _WeightedSampler([])
+        with pytest.raises(ValueError):
+            _WeightedSampler([0.0, 0.0])
+
+    def test_zero_weight_entries_never_sampled(self):
+        sampler = _WeightedSampler([0.0, 1.0, 0.0])
+        rng = Rng(6)
+        assert all(sampler.sample(rng) == 1 for _ in range(200))
+
+
+class TestLargestRemainder:
+    def test_exact_total(self):
+        counts = _largest_remainder(100, [1.0, 1.0, 1.0])
+        assert sum(counts) == 100
+
+    def test_proportionality(self):
+        counts = _largest_remainder(100, [75.0, 25.0])
+        assert counts == [75, 25]
+
+    @given(st.integers(min_value=0, max_value=1000),
+           st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=20))
+    @settings(max_examples=60)
+    def test_always_sums_to_total(self, total, weights):
+        counts = _largest_remainder(total, weights)
+        assert sum(counts) == total
+        assert all(c >= 0 for c in counts)

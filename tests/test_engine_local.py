@@ -1,0 +1,124 @@
+"""Tests for the LocalEngine (§6 distributed execution) on a real LAN topology."""
+
+import pytest
+
+from repro.engine import ActionRef, Applet, LocalEngine, TriggerRef
+from repro.iot import HueHub, HueLamp, WemoSwitch
+from repro.net import Address, FixedLatency, Network
+from repro.simcore import Rng, Simulator, Trace
+
+
+@pytest.fixture
+def lan():
+    sim = Simulator()
+    net = Network(sim, Rng(61))
+    trace = Trace()
+    lamp = net.add_node(HueLamp(Address("lamp.home"), "lamp1", trace=trace))
+    hub = net.add_node(HueHub(Address("hub.home"), trace=trace))
+    switch = net.add_node(WemoSwitch(Address("wemo.home"), "wemo1", trace=trace))
+    local = net.add_node(LocalEngine(Address("tablet.home"), trace=trace))
+    net.connect(lamp.address, hub.address, FixedLatency(0.005))
+    net.connect(hub.address, local.address, FixedLatency(0.005))
+    net.connect(switch.address, local.address, FixedLatency(0.005))
+    hub.pair_lamp(lamp)
+    local.bridge_hue_hub(hub.address)
+    local.bridge_wemo(switch.address)
+    sim.run()
+    return sim, trace, lamp, hub, switch, local
+
+
+def a2_applet():
+    return Applet(
+        applet_id=1, name="A2 local", user="alice",
+        trigger=TriggerRef("wemo", "switch_activated", {"device_id": "wemo1"}),
+        action=ActionRef("philips_hue", "turn_on_lights", {"lamp_id": "lamp1"}),
+    )
+
+
+def wemo_on_matcher(event):
+    if event.get("device_id") == "wemo1" and event.get("state", {}).get("on") is True:
+        return {"device_id": "wemo1"}
+    return None
+
+
+class TestLocalEngine:
+    def test_local_execution_is_milliseconds(self, lan):
+        sim, trace, lamp, hub, switch, local = lan
+        applet = a2_applet()
+        local.install_local_applet(applet, wemo_on_matcher, local.hue_command("lamp1"))
+        t0 = sim.now
+        switch.press()
+        sim.run()
+        assert lamp.get_state("on") is True
+        on_events = [r for r in trace.query(kind="device_state_changed", source="lamp1")
+                     if r.get("key") == "on"]
+        latency = on_events[0].time - t0
+        assert latency < 0.1  # LAN hops only, no polling
+        assert applet.executions == 1
+        assert local.executions == 1
+
+    def test_non_matching_event_ignored(self, lan):
+        sim, _, lamp, _, switch, local = lan
+        local.install_local_applet(a2_applet(), wemo_on_matcher, local.hue_command("lamp1"))
+        switch.press()   # on -> matches
+        sim.run()
+        lamp.apply_command({"on": False}, cause="reset")
+        switch.press()   # off -> no match
+        sim.run()
+        assert lamp.get_state("on") is False
+
+    def test_disabled_applet_skipped(self, lan):
+        sim, _, lamp, _, switch, local = lan
+        from repro.engine import AppletState
+
+        applet = a2_applet()
+        local.install_local_applet(applet, wemo_on_matcher, local.hue_command("lamp1"))
+        applet.state = AppletState.DISABLED
+        switch.press()
+        sim.run()
+        assert lamp.get_state("on") is False
+
+    def test_offline_engine_drops_events(self, lan):
+        sim, _, lamp, _, switch, local = lan
+        local.install_local_applet(a2_applet(), wemo_on_matcher, local.hue_command("lamp1"))
+        local.online = False
+        switch.press()
+        sim.run()
+        assert lamp.get_state("on") is False
+        assert local.executions == 0
+
+    def test_hue_command_requires_bridged_hub(self):
+        sim = Simulator()
+        net = Network(sim, Rng(1))
+        local = net.add_node(LocalEngine(Address("tablet.home")))
+        executor = local.hue_command("lamp1")
+        with pytest.raises(RuntimeError):
+            executor({"on": True})
+
+    def test_local_applets_listing(self, lan):
+        _, _, _, _, _, local = lan
+        applet = a2_applet()
+        local.install_local_applet(applet, wemo_on_matcher, lambda fields: None)
+        assert local.local_applets == [applet]
+
+    def test_hub_event_route_also_works(self, lan):
+        """Events arriving via the hub's HTTP push (Hue path) execute too."""
+        sim, _, lamp, hub, _, local = lan
+
+        def lamp_off_matcher(event):
+            if event.get("device_id") == "lamp1" and event.get("state", {}).get("on") is False:
+                return {}
+            return None
+
+        seen = []
+        applet = Applet(
+            applet_id=2, name="mirror", user="alice",
+            trigger=TriggerRef("philips_hue", "light_turned_off"),
+            action=ActionRef("local", "log"),
+        )
+        local.install_local_applet(applet, lamp_off_matcher, lambda fields: seen.append(fields))
+        lamp.apply_command({"on": True}, cause="test")
+        sim.run()
+        lamp.apply_command({"on": False}, cause="test")
+        sim.run()
+        assert seen == [{}]

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run clean to completion.
+
+Examples are user-facing documentation; a broken example is a broken
+promise.  Each test imports the script as a module and calls ``main()``
+(the scripts assert their own success criteria internally).
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "smart_home_evening",
+    "ecosystem_study",
+    "performance_study",
+    "loop_hazards",
+    "conditions_and_queries",
+    "day_in_the_life",
+]
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name, capsys):
+    module = load_example(name)
+    if name == "ecosystem_study":
+        module.main(0.005)  # keep the corpus tiny for CI speed
+    else:
+        module.main()
+    out = capsys.readouterr().out
+    assert "OK" in out  # every example prints "... OK" on success
+
+
+def test_every_example_file_is_covered():
+    on_disk = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)

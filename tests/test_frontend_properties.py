@@ -1,0 +1,79 @@
+"""Property tests: the parser inverts the renderer for arbitrary records."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawler.parser import parse_applet_page, parse_index_page, parse_service_page
+from repro.ecosystem.corpus import ActionRecord, AppletRecord, ServiceRecord, TriggerRecord
+from repro.frontend.pages import render_applet_page, render_index_page, render_service_page
+
+# Text free of the record separators the regex-based parser keys on.
+name_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc"), blacklist_characters="<>\n\r"),
+    min_size=1, max_size=40,
+).map(str.strip).filter(bool)
+
+slug_text = st.from_regex(r"[a-z][a-z0-9_]{0,20}", fullmatch=True)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    name=name_text,
+    author=slug_text,
+    is_user=st.booleans(),
+    add_count=st.integers(min_value=0, max_value=10**6),
+    trigger_slug=slug_text,
+    action_slug=slug_text,
+)
+def test_applet_page_round_trip(name, author, is_user, add_count, trigger_slug, action_slug):
+    applet = AppletRecord(
+        applet_id=123456, name=name, description=f"{name}. description",
+        trigger_slug=f"{trigger_slug}.t", trigger_service_slug=trigger_slug,
+        action_slug=f"{action_slug}.a", action_service_slug=action_slug,
+        author=author, author_is_user=is_user, add_count=add_count,
+    )
+    page = render_applet_page(applet, "Trig Name", "Trig Service",
+                              "Act Name", "Act Service", add_count)
+    parsed = parse_applet_page(page)
+    assert parsed["name"] == name
+    assert parsed["add_count"] == add_count
+    assert parsed["author"] == author
+    assert parsed["author_kind"] == ("user" if is_user else "service")
+    assert parsed["trigger_service_slug"] == trigger_slug
+    assert parsed["action_name_slug"] == f"{action_slug}.a"
+
+
+@settings(max_examples=30, deadline=None)
+@given(entries=st.lists(st.tuples(slug_text, name_text), max_size=10,
+                        unique_by=lambda e: e[0]))
+def test_index_page_round_trip(entries):
+    services = [
+        ServiceRecord(slug=slug, name=name, description="", category_index=1)
+        for slug, name in entries
+    ]
+    page = render_index_page(services)
+    parsed = parse_index_page(page)
+    assert {(e["slug"], e["name"]) for e in parsed} == set(entries)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    service_name=name_text,
+    triggers=st.lists(name_text, max_size=5),
+    actions=st.lists(name_text, max_size=5),
+)
+def test_service_page_round_trip(service_name, triggers, actions):
+    service = ServiceRecord(slug="svc", name=service_name, description="d",
+                            category_index=3)
+    service.triggers = [
+        TriggerRecord(slug=f"svc.t{i}", name=name, service_slug="svc")
+        for i, name in enumerate(triggers)
+    ]
+    service.actions = [
+        ActionRecord(slug=f"svc.a{i}", name=name, service_slug="svc")
+        for i, name in enumerate(actions)
+    ]
+    parsed = parse_service_page(render_service_page(service, week=24))
+    assert parsed["name"] == service_name
+    assert [t["name"] for t in parsed["triggers"]] == triggers
+    assert [a["name"] for a in parsed["actions"]] == actions

@@ -1,0 +1,76 @@
+"""Full-scale corpus validation (the paper's actual magnitudes).
+
+Most tests run at reduced scale for speed; this module generates the
+corpus at scale 1.0 — 320K applets, ~23M adds, 135K user channels — and
+checks the absolute numbers the paper reports.  It is the slowest test in
+the suite (~10 s) and the final word on calibration.
+"""
+
+import pytest
+
+from repro.ecosystem import EcosystemGenerator, EcosystemParams
+from repro.ecosystem.popularity import top_share
+
+
+@pytest.fixture(scope="module")
+def full_corpus():
+    return EcosystemGenerator(EcosystemParams(scale=1.0, seed=2017)).generate()
+
+
+class TestFullScaleHeadlines:
+    def test_paper_counts(self, full_corpus):
+        summary = full_corpus.summary()
+        assert summary["services"] == 408
+        assert summary["triggers"] == 1490
+        assert summary["actions"] == 957
+        assert summary["applets"] == 320_000
+        assert summary["add_count"] == 23_000_000
+
+    def test_applet_ids_stay_six_digit(self, full_corpus):
+        low, high = full_corpus.applet_id_bounds()
+        assert low == 100_000
+        assert high <= 999_999
+
+    def test_tail_statistics(self, full_corpus):
+        adds = [a.add_count for a in full_corpus.applets_at()]
+        assert top_share(adds, 0.01) == pytest.approx(0.841, abs=0.02)
+        # the one-add-per-applet floor flattens the extreme tail slightly
+        assert top_share(adds, 0.10) == pytest.approx(0.976, abs=0.03)
+
+    def test_top_applet_magnitude(self, full_corpus):
+        """Figure 3's Y axis tops out around 10^5 adds."""
+        top = max(a.add_count for a in full_corpus.applets_at())
+        assert 60_000 <= top <= 250_000
+
+    def test_table3_absolute_magnitudes(self, full_corpus):
+        """Alexa ~1.2M trigger adds, Hue ~1.2M action adds (Table 3)."""
+        trigger_adds = {}
+        action_adds = {}
+        for applet in full_corpus.applets_at():
+            trigger_adds[applet.trigger_service_slug] = (
+                trigger_adds.get(applet.trigger_service_slug, 0) + applet.add_count
+            )
+            action_adds[applet.action_service_slug] = (
+                action_adds.get(applet.action_service_slug, 0) + applet.add_count
+            )
+        assert trigger_adds["amazon_alexa"] == pytest.approx(1_200_000, rel=0.35)
+        assert action_adds["philips_hue"] == pytest.approx(1_200_000, rel=0.35)
+        # Fitbit's 0.2M trigger adds, an order below Alexa
+        assert trigger_adds["fitbit"] == pytest.approx(200_000, rel=0.6)
+
+    def test_user_channel_count(self, full_corpus):
+        """§3.2: 135,544 user channels."""
+        channels = {a.author for a in full_corpus.applets_at() if a.author_is_user}
+        # at full scale most of the 135K sampled users publish >= 1 applet
+        assert 60_000 <= len(channels) <= 135_544
+
+    def test_iot_shares_full_scale(self, full_corpus):
+        iot = {s.slug for s in full_corpus.services_at() if s.category_index <= 4}
+        applets = full_corpus.applets_at()
+        total = sum(a.add_count for a in applets)
+        iot_adds = sum(
+            a.add_count for a in applets
+            if a.trigger_service_slug in iot or a.action_service_slug in iot
+        )
+        assert len(iot) / 408 == pytest.approx(0.517, abs=0.005)
+        assert iot_adds / total == pytest.approx(0.16, abs=0.03)

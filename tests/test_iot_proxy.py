@@ -1,0 +1,115 @@
+"""Direct tests for the local proxy's command handling and edge cases."""
+
+import pytest
+
+from repro.iot import HueHub, HueLamp, LocalProxy, SmartThingsHub, GenericDevice, WemoSwitch
+from repro.net import Address, FixedLatency, HttpNode, Network
+from repro.simcore import Rng, Simulator, Trace
+
+
+@pytest.fixture
+def lan():
+    sim = Simulator()
+    net = Network(sim, Rng(53))
+    trace = Trace()
+    server = net.add_node(HttpNode(Address("server.cloud")))
+    server.add_route("POST", "/proxy/event", lambda req: {"confirmed": True})
+    proxy = net.add_node(LocalProxy(Address("proxy.home"),
+                                    service_server=server.address, trace=trace))
+    net.connect(proxy.address, server.address, FixedLatency(0.05))
+    return sim, net, trace, proxy, server
+
+
+class TestCommandValidation:
+    def _command(self, sim, net, proxy, body):
+        client = net.add_node(HttpNode(Address(f"client{id(body)}.cloud")))
+        net.connect(client.address, proxy.address, FixedLatency(0.01))
+        got = []
+        client.post(proxy.address, "/proxy/command", body=body, on_response=got.append)
+        sim.run_until(sim.now + 2.0)
+        return got[0]
+
+    def test_unknown_target_400(self, lan):
+        sim, net, _, proxy, _ = lan
+        response = self._command(sim, net, proxy, {"target": "toaster"})
+        assert response.status == 400
+
+    def test_hue_without_bridge_503(self, lan):
+        sim, net, _, proxy, _ = lan
+        response = self._command(
+            sim, net, proxy, {"target": "hue", "lamp_id": "l", "command": {"on": True}}
+        )
+        assert response.status == 503
+
+    def test_wemo_without_bridge_503(self, lan):
+        sim, net, _, proxy, _ = lan
+        response = self._command(
+            sim, net, proxy, {"target": "wemo", "device_id": "w", "on": True}
+        )
+        assert response.status == 503
+
+    def test_smartthings_without_bridge_503(self, lan):
+        sim, net, _, proxy, _ = lan
+        response = self._command(
+            sim, net, proxy, {"target": "smartthings", "device_id": "d", "value": True}
+        )
+        assert response.status == 503
+
+
+class TestBridgedOperation:
+    def test_full_bridge_roundtrip(self, lan):
+        sim, net, trace, proxy, _ = lan
+        lamp = net.add_node(HueLamp(Address("lamp.home"), "lamp1"))
+        hub = net.add_node(HueHub(Address("hub.home")))
+        switch = net.add_node(WemoSwitch(Address("wemo.home"), "wemo1"))
+        st_hub = net.add_node(SmartThingsHub(Address("st.home")))
+        lock = net.add_node(GenericDevice(Address("lock.home"), "lock1", "lock"))
+        for a, b in ((lamp, hub), (hub, proxy), (switch, proxy), (st_hub, proxy), (lock, st_hub)):
+            net.connect(a.address, b.address, FixedLatency(0.01))
+        hub.pair_lamp(lamp)
+        st_hub.pair_device(lock)
+        proxy.bridge_hue_hub(hub.address)
+        proxy.bridge_wemo("wemo1", switch.address)
+        proxy.bridge_smartthings_hub(st_hub.address)
+        sim.run_until(sim.now + 1.0)
+
+        client = net.add_node(HttpNode(Address("client.cloud")))
+        net.connect(client.address, proxy.address, FixedLatency(0.01))
+        client.post(proxy.address, "/proxy/command",
+                    body={"target": "hue", "lamp_id": "lamp1", "command": {"on": True}})
+        client.post(proxy.address, "/proxy/command",
+                    body={"target": "wemo", "device_id": "wemo1", "on": True})
+        client.post(proxy.address, "/proxy/command",
+                    body={"target": "smartthings", "device_id": "lock1", "value": True})
+        sim.run_until(sim.now + 2.0)
+        assert lamp.get_state("on") is True
+        assert switch.get_state("on") is True
+        assert lock.get_state("locked") is True
+        assert proxy.commands_executed == 3
+        assert trace.query(kind="proxy_command")
+
+    def test_events_forwarded_with_confirmation(self, lan):
+        sim, net, trace, proxy, server = lan
+        switch = net.add_node(WemoSwitch(Address("wemo.home"), "wemo1"))
+        net.connect(switch.address, proxy.address, FixedLatency(0.01))
+        proxy.bridge_wemo("wemo1", switch.address)
+        sim.run_until(sim.now + 1.0)
+        switch.press()
+        sim.run_until(sim.now + 2.0)
+        assert proxy.events_forwarded == 1
+        observed = trace.times("proxy_observed_event")
+        confirmed = trace.times("proxy_confirmed")
+        assert len(observed) == len(confirmed) == 1
+        # confirmation follows observation by the WAN round trip
+        assert 0.05 < confirmed[0] - observed[0] < 1.0
+
+    def test_confirm_failure_traced_when_server_down(self, lan):
+        sim, net, trace, proxy, server = lan
+        switch = net.add_node(WemoSwitch(Address("wemo.home"), "wemo1"))
+        net.connect(switch.address, proxy.address, FixedLatency(0.01))
+        proxy.bridge_wemo("wemo1", switch.address)
+        sim.run_until(sim.now + 1.0)
+        net.set_link_state(proxy.address, server.address, up=False)
+        switch.press()
+        sim.run_until(sim.now + 15.0)
+        assert trace.query(kind="proxy_confirm_failed")

@@ -1,0 +1,57 @@
+"""Tests for the ecosystem-scale permission study."""
+
+import pytest
+
+from repro.analysis.permissions_study import (
+    PermissionStudyResult,
+    run_permission_study,
+    scope_universe,
+)
+from repro.ecosystem.corpus import ServiceRecord, TriggerRecord, ActionRecord
+
+
+class TestScopeUniverse:
+    def _service(self, category, n_triggers, n_actions):
+        service = ServiceRecord("s", "S", "", category)
+        service.triggers = [
+            TriggerRecord(f"s.t{i}", f"t{i}", "s") for i in range(n_triggers)
+        ]
+        service.actions = [
+            ActionRecord(f"s.a{i}", f"a{i}", "s") for i in range(n_actions)
+        ]
+        return service
+
+    def test_email_category_has_extras(self):
+        assert scope_universe(self._service(13, 2, 1)) == 2 + 1 + 3
+
+    def test_smarthome_has_no_extras(self):
+        assert scope_universe(self._service(1, 3, 4)) == 7
+
+
+class TestPermissionStudy:
+    @pytest.fixture(scope="class")
+    def result(self, small_corpus):
+        return run_permission_study(small_corpus, n_users=300, mean_installs=5.0, seed=11)
+
+    def test_population_size(self, result):
+        assert result.n_users == 300
+        assert result.mean_installs >= 1.0
+
+    def test_coarse_always_overgrants(self, result):
+        assert result.mean_scopes_granted_coarse > result.mean_scopes_needed
+        assert result.mean_overgrant_factor > 1.5
+
+    def test_excess_is_pervasive(self, result):
+        """Nearly every user carries unneeded scopes under the coarse model."""
+        assert result.users_with_excess > 0.9
+        assert 0.2 < result.mean_excess_ratio < 0.95
+        assert result.worst_excess_ratio <= 1.0
+
+    def test_deterministic(self, small_corpus):
+        a = run_permission_study(small_corpus, n_users=50, seed=3)
+        b = run_permission_study(small_corpus, n_users=50, seed=3)
+        assert a == b
+
+    def test_validation(self, small_corpus):
+        with pytest.raises(ValueError):
+            run_permission_study(small_corpus, n_users=0)

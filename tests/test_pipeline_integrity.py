@@ -1,0 +1,70 @@
+"""End-to-end pipeline integrity: generate → serve → crawl → archive →
+reload → analyze must be lossless at every hop."""
+
+import pytest
+
+from repro.analysis import (
+    ServiceClassifier,
+    add_count_top_shares,
+    iot_shares,
+    table1,
+)
+from repro.crawler import IftttCrawler, SnapshotStore
+from repro.ecosystem import EcosystemGenerator, EcosystemParams
+from repro.ecosystem.corpus import Corpus
+from repro.frontend import SimulatedIftttSite
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """The full §3 pipeline with a save/load hop in the middle."""
+    tmp = tmp_path_factory.mktemp("pipeline")
+    corpus = EcosystemGenerator(EcosystemParams(scale=0.01, seed=7)).generate()
+
+    corpus_path = tmp / "corpus.json"
+    corpus.save(corpus_path)
+    reloaded = Corpus.load(corpus_path)
+
+    site = SimulatedIftttSite(reloaded)
+    crawler = IftttCrawler(site)
+    store = SnapshotStore()
+    for week in (0, 24):
+        store.add(crawler.crawl(week=week))
+    store_path = tmp / "snapshots.json"
+    store.save(store_path)
+    restored = SnapshotStore.load(store_path)
+    return corpus, reloaded, store, restored
+
+
+class TestLossless:
+    def test_corpus_save_load_identity(self, pipeline):
+        corpus, reloaded, _, _ = pipeline
+        for week in (None, 0, 12, 24):
+            assert reloaded.summary(week) == corpus.summary(week)
+
+    def test_crawl_of_reloaded_matches_original_truth(self, pipeline):
+        corpus, _, store, _ = pipeline
+        assert store.last().summary() == corpus.summary()
+
+    def test_store_save_load_identity(self, pipeline):
+        _, _, store, restored = pipeline
+        assert restored.weeks() == store.weeks()
+        for week in store.weeks():
+            assert restored.get(week).summary() == store.get(week).summary()
+
+    def test_analyses_identical_after_round_trips(self, pipeline):
+        _, _, store, restored = pipeline
+        original_rows = table1(store.last())
+        restored_rows = table1(restored.last())
+        assert original_rows == restored_rows
+        assert iot_shares(store.last()) == iot_shares(restored.last())
+        assert add_count_top_shares(store.last()) == add_count_top_shares(restored.last())
+
+    def test_classifier_stable_across_round_trip(self, pipeline):
+        corpus, _, store, restored = pipeline
+        classifier = ServiceClassifier()
+        original = classifier.classify_all(store.last().services.values())
+        reloaded = classifier.classify_all(restored.last().services.values())
+        assert original == reloaded
+        truth = {s.slug: s.category_index for s in corpus.services_at()}
+        assert classifier.accuracy(restored.last().services.values(), truth) > 0.9

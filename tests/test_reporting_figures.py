@@ -1,0 +1,55 @@
+"""Tests for the figure-data exporters."""
+
+import csv
+
+from repro.reporting.figures import (
+    export_all_figures,
+    export_cdf,
+    export_heatmap,
+    export_rank_series,
+    write_csv,
+)
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+class TestWriters:
+    def test_write_csv_creates_dirs(self, tmp_path):
+        target = write_csv(tmp_path / "deep" / "dir" / "x.csv", ["a"], [[1], [2]])
+        rows = read_csv(target)
+        assert rows == [["a"], ["1"], ["2"]]
+
+    def test_export_cdf(self, tmp_path):
+        target = export_cdf(tmp_path / "cdf.csv", [3.0, 1.0], label="lat")
+        rows = read_csv(target)
+        assert rows[0] == ["lat", "cdf"]
+        assert rows[1] == ["1.0", "0.5"]
+        assert rows[2] == ["3.0", "1.0"]
+
+    def test_export_heatmap(self, tmp_path):
+        target = export_heatmap(tmp_path / "hm.csv", [[1, 2], [3, 4]])
+        rows = read_csv(target)
+        assert rows[1] == ["1", "1", "1"]
+        assert rows[-1] == ["2", "2", "4"]
+
+    def test_export_rank_series(self, tmp_path):
+        target = export_rank_series(tmp_path / "rank.csv", [(1, 100), (10, 5)])
+        rows = read_csv(target)
+        assert rows == [["rank", "add_count"], ["1", "100"], ["10", "5"]]
+
+
+class TestExportAll:
+    def test_exports_every_figure(self, tmp_path):
+        written = export_all_figures(
+            tmp_path, corpus_scale=0.005, t2a_runs=3, seed=3
+        )
+        expected = {"fig2_heatmap", "fig3_addcount", "fig4_a1_a4", "fig4_a5_a7",
+                    "fig5_E1", "fig5_E2", "fig5_E3", "fig6_triggers",
+                    "fig6_actions", "fig7_diff"}
+        assert set(written) == expected
+        for path in written.values():
+            assert path.exists()
+            assert len(read_csv(path)) >= 2  # header + at least one row

@@ -1,0 +1,190 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.simcore import Interrupt, Process, Signal, Timeout
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_process_sleeps_for_delay(self, sim):
+        wakes = []
+
+        def sleeper():
+            yield Timeout(5.0)
+            wakes.append(sim.now)
+
+        Process(sim, sleeper())
+        sim.run()
+        assert wakes == [5.0]
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        ticks = []
+
+        def clock():
+            for _ in range(3):
+                yield Timeout(10.0)
+                ticks.append(sim.now)
+
+        Process(sim, clock())
+        sim.run()
+        assert ticks == [10.0, 20.0, 30.0]
+
+
+class TestSignal:
+    def test_fire_wakes_waiter_with_value(self, sim):
+        got = []
+        signal = Signal("data")
+
+        def waiter():
+            value = yield signal
+            got.append(value)
+
+        Process(sim, waiter())
+        assert signal.waiting == 1
+        signal.fire("payload")
+        assert got == ["payload"]
+        assert signal.waiting == 0
+
+    def test_fire_wakes_all_waiters(self, sim):
+        got = []
+        signal = Signal()
+
+        def waiter(tag):
+            value = yield signal
+            got.append((tag, value))
+
+        Process(sim, waiter("a"))
+        Process(sim, waiter("b"))
+        woke = signal.fire(7)
+        assert woke == 2
+        assert got == [("a", 7), ("b", 7)]
+
+    def test_refire_only_wakes_current_waiters(self, sim):
+        signal = Signal()
+        signal.fire("nobody")
+        assert signal.fire_count == 1
+        assert signal.last_value == "nobody"
+
+    def test_process_can_wait_signal_then_timeout(self, sim):
+        timeline = []
+        signal = Signal()
+
+        def worker():
+            yield signal
+            timeline.append(("signal", sim.now))
+            yield Timeout(3.0)
+            timeline.append(("timeout", sim.now))
+
+        Process(sim, worker())
+        sim.schedule(2.0, signal.fire)
+        sim.run()
+        assert timeline == [("signal", 2.0), ("timeout", 5.0)]
+
+
+class TestProcess:
+    def test_runs_first_segment_synchronously(self, sim):
+        steps = []
+
+        def proc():
+            steps.append("started")
+            yield Timeout(1.0)
+
+        Process(sim, proc())
+        assert steps == ["started"]
+
+    def test_result_captured(self, sim):
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        p = Process(sim, proc())
+        sim.run()
+        assert not p.alive
+        assert p.result == 42
+
+    def test_waiting_on_another_process(self, sim):
+        order = []
+
+        def child():
+            yield Timeout(5.0)
+            order.append("child-done")
+            return "gift"
+
+        def parent():
+            value = yield child_process
+            order.append(("parent-got", value))
+
+        child_process = Process(sim, child())
+        Process(sim, parent())
+        sim.run()
+        assert order == ["child-done", ("parent-got", "gift")]
+
+    def test_waiting_on_finished_process_resumes(self, sim):
+        def quick():
+            return "done"
+            yield  # pragma: no cover - makes it a generator
+
+        def parent():
+            value = yield finished
+            results.append(value)
+
+        results = []
+        finished = Process(sim, quick())
+        assert not finished.alive
+        Process(sim, parent())
+        sim.run()
+        assert results == ["done"]
+
+    def test_interrupt_cancels_pending_timeout(self, sim):
+        state = []
+
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+                state.append("woke")
+            except Interrupt as exc:
+                state.append(("interrupted", exc.cause))
+
+        p = Process(sim, sleeper())
+        sim.schedule(1.0, p.interrupt, "shutdown")
+        sim.run()
+        assert state == [("interrupted", "shutdown")]
+        assert not p.alive
+
+    def test_interrupt_dead_process_is_noop(self, sim):
+        def quick():
+            return None
+            yield  # pragma: no cover
+
+        p = Process(sim, quick())
+        p.interrupt()  # must not raise
+
+    def test_unsupported_yield_raises(self, sim):
+        def bad():
+            yield 42
+
+        with pytest.raises(TypeError):
+            Process(sim, bad())
+
+    def test_crash_propagates_and_records(self, sim):
+        def bad():
+            if True:
+                raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        with pytest.raises(RuntimeError):
+            Process(sim, bad())
+
+    def test_done_signal_fires_for_waiters(self, sim):
+        def proc():
+            yield Timeout(1.0)
+            return "x"
+
+        p = Process(sim, proc())
+        assert p.alive
+        sim.run()
+        assert p.exception is None

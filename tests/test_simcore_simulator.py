@@ -1,0 +1,154 @@
+"""Unit tests for the discrete-event kernel (events + simulator)."""
+
+import pytest
+
+from repro.simcore import Event, SimulationError
+
+
+class TestEvent:
+    def test_orders_by_time(self):
+        early = Event(1.0, lambda: None)
+        late = Event(2.0, lambda: None)
+        assert early < late
+
+    def test_same_time_orders_by_priority_then_seq(self):
+        first = Event(1.0, lambda: None, priority=0)
+        second = Event(1.0, lambda: None, priority=1)
+        assert first < second
+        a = Event(1.0, lambda: None)
+        b = Event(1.0, lambda: None)
+        assert a < b  # FIFO via sequence numbers
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Event(-0.1, lambda: None)
+
+    def test_cancel_prevents_fire(self):
+        fired = []
+        event = Event(0.0, lambda: fired.append(1))
+        event.cancel()
+        event.fire()
+        assert fired == []
+        assert event.canceled
+
+    def test_cancel_is_idempotent(self):
+        event = Event(0.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert event.canceled
+
+    def test_fire_passes_args(self):
+        got = []
+        Event(0.0, lambda a, b: got.append((a, b)), args=(1, 2)).fire()
+        assert got == [(1, 2)]
+
+    def test_repr_mentions_label(self):
+        assert "poll" in repr(Event(1.0, lambda: None, label="poll"))
+
+
+class TestSimulator:
+    def test_starts_at_time_zero(self, sim):
+        assert sim.now == 0.0
+        assert sim.pending == 0
+
+    def test_run_executes_in_time_order(self, sim):
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        fired = sim.run()
+        assert order == ["a", "b", "c"]
+        assert fired == 3
+        assert sim.now == 3.0
+
+    def test_same_time_fifo(self, sim):
+        order = []
+        for tag in ("x", "y", "z"):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == ["x", "y", "z"]
+
+    def test_schedule_in_past_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_before_now_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until_advances_clock_to_target(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_excludes_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run_until(3.0)
+        assert fired == [1]
+        sim.run_until(6.0)
+        assert fired == [1, 5]
+
+    def test_events_can_schedule_events(self, sim):
+        result = []
+
+        def outer():
+            sim.schedule(1.0, lambda: result.append(sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert result == [2.0]
+
+    def test_cancel_via_returned_handle(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_stop_halts_run(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [(1, None)] or fired == [1]  # tuple from lambda
+        assert sim.pending == 1
+
+    def test_max_events_bounds_run(self, sim):
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        fired = sim.run(max_events=25)
+        assert fired == 25
+
+    def test_pending_ignores_canceled(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending == 1
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_fired_count_accumulates(self, sim):
+        for delay in (1.0, 2.0):
+            sim.schedule(delay, lambda: None)
+        sim.run()
+        assert sim.fired_count == 2
+
+    def test_priority_breaks_time_tie(self, sim):
+        order = []
+        sim.schedule(1.0, lambda: order.append("low"), priority=5)
+        sim.schedule(1.0, lambda: order.append("high"), priority=-5)
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_zero_delay_runs_now(self, sim):
+        sim.schedule(5.0, lambda: sim.schedule(0.0, lambda: result.append(sim.now)))
+        result = []
+        sim.run()
+        assert result == [5.0]

@@ -1,0 +1,64 @@
+"""Tests for the trace recorder."""
+
+class TestTrace:
+    def test_record_and_length(self, trace):
+        trace.record(1.0, "proxy", "event", device="lamp")
+        assert len(trace) == 1
+        assert trace[0].source == "proxy"
+        assert trace[0].get("device") == "lamp"
+
+    def test_query_by_kind(self, trace):
+        trace.record(1.0, "a", "poll")
+        trace.record(2.0, "a", "action")
+        assert [r.kind for r in trace.query(kind="poll")] == ["poll"]
+
+    def test_query_by_source(self, trace):
+        trace.record(1.0, "engine", "poll")
+        trace.record(2.0, "service", "poll")
+        assert len(trace.query(kind="poll", source="engine")) == 1
+
+    def test_query_time_window(self, trace):
+        for t in (1.0, 2.0, 3.0):
+            trace.record(t, "x", "tick")
+        assert trace.times("tick") == [1.0, 2.0, 3.0]
+        assert [r.time for r in trace.query(kind="tick", since=2.0)] == [2.0, 3.0]
+        assert [r.time for r in trace.query(kind="tick", until=2.0)] == [1.0, 2.0]
+
+    def test_query_detail_equality(self, trace):
+        trace.record(1.0, "x", "poll", applet_id=1)
+        trace.record(2.0, "x", "poll", applet_id=2)
+        assert len(trace.query(kind="poll", applet_id=2)) == 1
+
+    def test_query_missing_detail_key_no_match(self, trace):
+        trace.record(1.0, "x", "poll")
+        assert trace.query(kind="poll", applet_id=1) == []
+
+    def test_query_where_predicate(self, trace):
+        trace.record(1.0, "x", "poll", returned=0)
+        trace.record(2.0, "x", "poll", returned=3)
+        hits = trace.query(kind="poll", where=lambda r: r.get("returned", 0) > 0)
+        assert [r.time for r in hits] == [2.0]
+
+    def test_first_and_last(self, trace):
+        trace.record(1.0, "x", "poll", n=1)
+        trace.record(2.0, "x", "poll", n=2)
+        assert trace.first("poll").get("n") == 1
+        assert trace.last("poll").get("n") == 2
+        assert trace.first("nothing") is None
+        assert trace.last("nothing") is None
+
+    def test_kinds_histogram(self, trace):
+        trace.record(1.0, "x", "poll")
+        trace.record(2.0, "x", "poll")
+        trace.record(3.0, "x", "action")
+        assert trace.kinds() == {"poll": 2, "action": 1}
+
+    def test_clear(self, trace):
+        trace.record(1.0, "x", "poll")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_iteration_order_is_append_order(self, trace):
+        trace.record(5.0, "x", "b")
+        trace.record(1.0, "x", "a")  # times need not be monotone
+        assert [r.kind for r in trace] == ["b", "a"]

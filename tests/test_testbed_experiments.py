@@ -1,0 +1,147 @@
+"""Integration tests for the §4 experiment harness (scenarios, sequential,
+concurrent, loops, timeline)."""
+
+import pytest
+
+from repro.testbed import (
+    build_scenario,
+    capture_timeline,
+    find_clusters,
+    run_concurrent_experiment,
+    run_explicit_loop_experiment,
+    run_implicit_loop_experiment,
+    run_scenario_t2a,
+    run_sequential_experiment,
+)
+from repro.testbed.scenarios import SCENARIOS, scenario
+from repro.testbed.timeline import format_timeline
+
+
+class TestScenarios:
+    def test_four_scenarios_defined(self):
+        assert set(SCENARIOS) == {"official", "E1", "E2", "E3"}
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            scenario("E4")
+
+    def test_e3_builds_fast_engine(self):
+        testbed, controller, chosen = build_scenario("E3", seed=5)
+        policy = testbed.config.engine_config.poll_policy
+        assert type(policy).__name__ == "FixedPollingPolicy"
+        assert policy.interval == 1.0
+
+    def test_e3_latency_is_seconds(self):
+        latencies = run_scenario_t2a("E3", runs=5, seed=5, spacing=20.0)
+        assert len(latencies) == 5
+        assert max(latencies) < 5.0
+
+    def test_e2_latency_is_minutes(self):
+        latencies = run_scenario_t2a("E2", runs=5, seed=5, spacing=60.0)
+        assert len(latencies) == 5
+        assert min(latencies) > 5.0  # polling-bound
+
+    def test_e1_and_e2_similar_e3_dramatically_better(self):
+        e1 = run_scenario_t2a("E1", runs=8, seed=6)
+        e2 = run_scenario_t2a("E2", runs=8, seed=7)
+        e3 = run_scenario_t2a("E3", runs=8, seed=8, spacing=20.0)
+        median = lambda xs: sorted(xs)[len(xs) // 2]
+        assert median(e3) < median(e1) / 10
+        assert median(e3) < median(e2) / 10
+        assert 0.3 < median(e1) / median(e2) < 3.0  # E1 ~ E2
+
+
+class TestFindClusters:
+    def test_single_cluster(self):
+        assert find_clusters([1.0, 2.0, 3.0], gap_threshold=5.0) == [[1.0, 2.0, 3.0]]
+
+    def test_split_on_gap(self):
+        clusters = find_clusters([1.0, 2.0, 50.0, 51.0], gap_threshold=10.0)
+        assert clusters == [[1.0, 2.0], [50.0, 51.0]]
+
+    def test_unsorted_input(self):
+        clusters = find_clusters([51.0, 1.0, 2.0, 50.0], gap_threshold=10.0)
+        assert clusters == [[1.0, 2.0], [50.0, 51.0]]
+
+    def test_empty(self):
+        assert find_clusters([]) == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            find_clusters([1.0], gap_threshold=0)
+
+
+class TestSequentialExperiment:
+    def test_actions_form_clusters(self):
+        result = run_sequential_experiment(
+            applet_key="A4", triggers=12, interval=5.0, seed=9, settle_after=2000.0
+        )
+        assert len(result.trigger_times) == 12
+        assert len(result.action_times) == 12  # every trigger eventually acted on
+        # fewer clusters than triggers: the batching compressed them
+        assert 1 <= len(result.clusters) < 12
+        assert sum(result.cluster_sizes) == 12
+
+    def test_actions_after_triggers(self):
+        result = run_sequential_experiment(
+            applet_key="A4", triggers=6, interval=5.0, seed=10, settle_after=2000.0
+        )
+        assert min(result.action_times) > min(result.trigger_times)
+
+
+class TestConcurrentExperiment:
+    def test_latency_differences_spread(self):
+        result = run_concurrent_experiment(runs=6, seed=11)
+        diffs = result.differences
+        assert len(diffs) == 6
+        # §4: per-applet independent polling makes the difference fluctuate
+        assert result.spread > 10.0
+        assert any(d > 0 for d in diffs) or any(d < 0 for d in diffs)
+
+
+class TestLoopExperiments:
+    def test_explicit_loop_self_sustains_and_static_detects(self):
+        result = run_explicit_loop_experiment(duration=2400.0, seed=12)
+        assert result.looped
+        assert result.emails_received >= 3
+        assert len(result.static_findings) == 1  # visible to offline analysis
+        assert result.runtime_flagged == []  # detection disabled, as in IFTTT
+
+    def test_implicit_loop_invisible_to_blind_analysis(self):
+        result = run_implicit_loop_experiment(duration=2400.0, seed=12)
+        assert result.looped
+        assert result.static_findings == []  # IFTTT cannot see it
+        assert len(result.static_findings_with_external_knowledge) == 1
+
+    def test_runtime_detection_stops_the_loop(self):
+        unchecked = run_implicit_loop_experiment(duration=7200.0, seed=13)
+        checked = run_implicit_loop_experiment(duration=7200.0, seed=13, runtime_detection=True)
+        assert checked.runtime_flagged
+        assert checked.disabled_applets
+        assert checked.rows_added < unchecked.rows_added
+
+
+class TestTimeline:
+    def test_table5_structure(self):
+        entries = capture_timeline(seed=21)
+        assert entries[0].t == 0.0
+        descriptions = " | ".join(e.event for e in entries)
+        assert "proxy" in descriptions.lower()
+        assert "polls trigger service" in descriptions
+        assert "action" in descriptions.lower()
+        # monotone timeline ending at the confirmed action
+        times = [e.t for e in entries]
+        assert times == sorted(times)
+        # the poll wait dominates (Table 5: 0.16 s -> 81.1 s jump)
+        assert entries[-1].t > 10.0
+
+    def test_proxy_observation_is_fast(self):
+        entries = capture_timeline(seed=22)
+        proxy_entries = [e for e in entries if "observes the trigger" in e.event]
+        assert proxy_entries and proxy_entries[0].t < 1.0
+
+    def test_format_timeline(self):
+        entries = capture_timeline(seed=23)
+        text = format_timeline(entries)
+        assert "t (s)" in text
+        assert "Event Description" in text
