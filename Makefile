@@ -1,12 +1,20 @@
 # Convenience targets for the IFTTT reproduction.
 
-.PHONY: install test bench bench-verbose examples figures clean
+.PHONY: install test test-fast bench bench-verbose examples figures clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Tier-1 + obs tests minus the multi-second soak/full-scale/example runs;
+# the inner-loop target while developing.
+test-fast:
+	pytest tests/ -q \
+		--ignore=tests/test_fullscale.py \
+		--ignore=tests/test_scenario_soak.py \
+		--ignore=tests/test_examples.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

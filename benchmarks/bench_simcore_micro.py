@@ -28,12 +28,12 @@ def test_bench_event_throughput(benchmark):
     assert fired == 10_000
 
 
-def test_bench_network_delivery(benchmark):
+def test_bench_network_delivery(benchmark, bench_metrics):
     """End-to-end message delivery over a 3-hop path."""
 
     def run():
         sim = Simulator()
-        net = Network(sim, Rng(1))
+        net = Network(sim, Rng(1), metrics=bench_metrics)
         nodes = [net.add_node(Node(Address(f"n{i}.test"))) for i in range(4)]
         for a, b in zip(nodes, nodes[1:]):
             net.connect(a.address, b.address, FixedLatency(0.001))
@@ -66,12 +66,12 @@ def test_bench_http_round_trips(benchmark):
     assert completed == 500
 
 
-def test_bench_engine_poll_cycle(benchmark):
+def test_bench_engine_poll_cycle(benchmark, bench_metrics):
     """Full poll->dedupe->action cycles of the engine."""
 
     def build():
         sim = Simulator()
-        net = Network(sim, Rng(3))
+        net = Network(sim, Rng(3), metrics=bench_metrics)
         engine = net.add_node(IftttEngine(
             Address("e.cloud"),
             config=EngineConfig(poll_policy=FixedPollingPolicy(1.0), initial_poll_delay=0.1),

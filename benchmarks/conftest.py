@@ -16,6 +16,7 @@ import pytest
 from repro.crawler import IftttCrawler, SnapshotStore
 from repro.ecosystem import EcosystemGenerator, EcosystemParams
 from repro.frontend import SimulatedIftttSite
+from repro.obs import MetricsRegistry
 
 #: Scale used for corpus-driven benches; see DESIGN.md §4 for why the
 #: very largest applets distort per-cell shares below full scale.
@@ -46,3 +47,31 @@ def bench_store(bench_site):
     for week in (0, 8, 16, 24):
         store.add(crawler.crawl(week=week))
     return store
+
+
+@pytest.fixture
+def bench_metrics(request):
+    """A per-bench metrics registry whose snapshot rides with the timings.
+
+    Benches that opt in wire the registry into what they build (engine,
+    network, testbed); at teardown the snapshot is attached to
+    pytest-benchmark's ``extra_info`` so ``--benchmark-json`` output
+    carries the run's counters and latency sketches next to the timings
+    (see docs/OBSERVABILITY.md).
+
+    Opting in is a contract: a bench that finishes without recording a
+    single metric fails loudly rather than silently publishing timings
+    with an empty snapshot.
+    """
+    registry = MetricsRegistry()
+    yield registry
+    snapshot = registry.snapshot()
+    if not snapshot["metrics"]:
+        pytest.fail(
+            f"{request.node.name} requested bench_metrics but recorded no "
+            "metrics — wire the registry into the benched code or drop the "
+            "fixture."
+        )
+    benchmark = request.node.funcargs.get("benchmark")
+    if benchmark is not None:
+        benchmark.extra_info["metrics"] = snapshot

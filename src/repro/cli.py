@@ -54,6 +54,16 @@ def _cmd_ecosystem(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_metrics(source, path: str) -> None:
+    """Print a metrics summary and write the JSON-lines report."""
+    from repro.reporting import render_metrics_summary, write_metrics_json
+
+    print()
+    print(render_metrics_summary(source))
+    written = write_metrics_json(source, path)
+    print(f"metrics written to {written}")
+
+
 def _cmd_t2a(args: argparse.Namespace) -> int:
     from repro.reporting import summarize_latencies
     from repro.testbed.scenarios import SCENARIOS, build_scenario
@@ -62,7 +72,7 @@ def _cmd_t2a(args: argparse.Namespace) -> int:
         print(f"unknown scenario {args.scenario!r}; choose from {sorted(SCENARIOS)}",
               file=sys.stderr)
         return 2
-    _, controller, chosen = build_scenario(args.scenario, seed=args.seed)
+    testbed, controller, chosen = build_scenario(args.scenario, seed=args.seed)
     latencies = controller.measure_t2a(
         args.applet, runs=args.runs, variant=chosen.applet_variant,
         spacing=20.0 if chosen.fast_engine else 150.0,
@@ -71,6 +81,8 @@ def _cmd_t2a(args: argparse.Namespace) -> int:
     print(f"{args.applet} under {args.scenario} ({chosen.description})")
     print(f"  n={int(stats['n'])} p25={stats['p25']:.2f}s p50={stats['p50']:.2f}s "
           f"p75={stats['p75']:.2f}s max={stats['max']:.2f}s")
+    if args.metrics:
+        _emit_metrics(testbed.metrics, args.metrics)
     return 0
 
 
@@ -116,6 +128,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print(f"  peak polls/s:     {result.peak_polls_per_second()}")
     print(f"  mean polls/s:     {result.mean_polls_per_second():.2f}")
     print(f"  peak/mean:        {result.burstiness():.1f}")
+    if args.metrics:
+        _emit_metrics(result.metrics_snapshot, args.metrics)
     return 0
 
 
@@ -166,6 +180,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="official, E1, E2, or E3 (default official)")
     t2a.add_argument("--runs", type=int, default=20)
     t2a.add_argument("--seed", type=int, default=7)
+    t2a.add_argument("--metrics", metavar="PATH",
+                     help="write the run's metrics report as JSON lines")
     t2a.set_defaults(func=_cmd_t2a)
 
     timeline = sub.add_parser("timeline", help="print a Table 5 execution timeline")
@@ -187,6 +203,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="honour realtime hints for everyone (full push)")
     fleet.add_argument("--publications", type=int, default=4)
     fleet.add_argument("--seed", type=int, default=5)
+    fleet.add_argument("--metrics", metavar="PATH",
+                       help="write the run's metrics report as JSON lines")
     fleet.set_defaults(func=_cmd_fleet)
 
     decompose = sub.add_parser("decompose", help="T2A latency stage decomposition")

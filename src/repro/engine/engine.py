@@ -30,6 +30,7 @@ from repro.engine.permissions import ServicePermissionModel
 from repro.engine.poller import PollingPolicy
 from repro.net.address import Address
 from repro.net.http import HttpNode, HttpRequest, HttpResponse
+from repro.obs.metrics import COUNT_BUCKETS
 from repro.services.partner import (
     ACTION_PATH,
     QUERY_PATH,
@@ -85,11 +86,15 @@ class IftttEngine(HttpNode):
         rng: Optional[Rng] = None,
         trace: Optional[Trace] = None,
         service_time: float = 0.01,
+        metrics=None,
     ) -> None:
         super().__init__(address, service_time=service_time)
         self.config = config or EngineConfig()
         self.rng = rng or Rng(seed=0, name="engine")
         self.trace = trace
+        # An explicit registry wins; otherwise Node.metrics falls back to
+        # the network's shared registry once attached.
+        self.metrics = metrics
         self.tokens = TokenCache()
         self.permissions = ServicePermissionModel()
         self._services: Dict[str, ServiceRegistration] = {}
@@ -331,6 +336,11 @@ class IftttEngine(HttpNode):
         runtime.polls += 1
         runtime.last_poll_at = self.now
         self.polls_sent += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter(
+                "engine.polls_sent", service=applet.trigger.service_slug
+            ).inc()
         if self.trace is not None:
             self.trace.record(
                 self.now,
@@ -364,6 +374,7 @@ class IftttEngine(HttpNode):
     def _on_poll_response(self, runtime: _AppletRuntime, response: HttpResponse) -> None:
         runtime.poll_in_flight = False
         applet = runtime.applet
+        metrics = self.metrics
         new_events: List[Dict[str, Any]] = []
         if response.ok:
             wire_events = (response.body or {}).get("data", [])
@@ -376,6 +387,17 @@ class IftttEngine(HttpNode):
                 new_events.append(wire)
         else:
             self.poll_failures += 1
+            if metrics is not None:
+                metrics.counter(
+                    "engine.poll_failures", status=response.status
+                ).inc()
+        if metrics is not None:
+            metrics.histogram("engine.poll_rtt_seconds").observe(response.elapsed)
+            metrics.histogram(
+                "engine.poll_batch_new", bounds=COUNT_BUCKETS
+            ).observe(len(new_events))
+            if new_events:
+                metrics.counter("engine.events_observed").inc(len(new_events))
         if self.trace is not None:
             self.trace.record(
                 self.now,
@@ -389,7 +411,12 @@ class IftttEngine(HttpNode):
         runtime.policy.observe_events(len(new_events))
         for wire in new_events:
             self._process_event(runtime, wire)
-        self._schedule_next_poll(runtime, runtime.policy.next_interval(self.rng))
+        self._schedule_next_poll(
+            runtime,
+            runtime.policy.sample_interval(
+                self.rng, metrics, service=applet.trigger.service_slug
+            ),
+        )
 
     def _remember_event(self, runtime: _AppletRuntime, event_id: int) -> None:
         runtime.seen_ids.add(event_id)
@@ -463,6 +490,8 @@ class IftttEngine(HttpNode):
                 verdict = bool(runtime.filter_expr.evaluate(namespace))
             except FilterEvalError:
                 self.filter_errors += 1
+                if self.metrics is not None:
+                    self.metrics.counter("engine.runs_failed", reason="filter_error").inc()
                 if self.trace is not None:
                     self.trace.record(
                         self.now, "engine", "engine_filter_error",
@@ -471,6 +500,8 @@ class IftttEngine(HttpNode):
                 return
             if not verdict:
                 self.filter_skips += 1
+                if self.metrics is not None:
+                    self.metrics.counter("engine.runs_skipped", reason="filter").inc()
                 if self.trace is not None:
                     self.trace.record(
                         self.now, "engine", "engine_filter_skipped",
@@ -492,6 +523,20 @@ class IftttEngine(HttpNode):
         fields = action.resolve_fields(ingredients)
         applet.executions += 1
         self.actions_dispatched += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter(
+                "engine.actions_dispatched", service=action.service_slug
+            ).inc()
+            # Trigger-to-action latency as the engine sees it: action
+            # dispatch time minus the event's ``meta.timestamp`` (when
+            # the trigger condition was met at the service) — the §4
+            # headline metric, dominated by the poll wait.
+            triggered_at = wire_event.get("meta", {}).get("timestamp")
+            if triggered_at is not None:
+                metrics.histogram(
+                    "engine.t2a_seconds", service=action.service_slug
+                ).observe(max(0.0, self.now - triggered_at))
         if self.trace is not None:
             self.trace.record(
                 self.now,
@@ -505,6 +550,8 @@ class IftttEngine(HttpNode):
         if self.config.runtime_loop_detection:
             if self.loop_detector.observe(applet.applet_id, self.now):
                 self.disable_applet(applet.applet_id)
+                if metrics is not None:
+                    metrics.counter("engine.loops_killed").inc()
                 if self.trace is not None:
                     self.trace.record(
                         self.now,
@@ -525,6 +572,12 @@ class IftttEngine(HttpNode):
     def _on_action_response(self, applet: Applet, response: HttpResponse) -> None:
         if not response.ok:
             self.action_failures += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "engine.action_failures", status=response.status
+                ).inc()
+        if self.metrics is not None:
+            self.metrics.histogram("engine.action_rtt_seconds").observe(response.elapsed)
         if self.trace is not None:
             self.trace.record(
                 self.now,
@@ -540,6 +593,10 @@ class IftttEngine(HttpNode):
         self.realtime_hints_received += 1
         service_slug = request.header("service_slug", "")
         honoured = self.config.honours_realtime_for(service_slug)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "engine.realtime_hints", service=service_slug, honoured=honoured
+            ).inc()
         identities = [
             entry.get("trigger_identity") for entry in (request.body or {}).get("data", [])
         ]

@@ -26,6 +26,22 @@ class PollingPolicy(ABC):
     def next_interval(self, rng: Rng) -> float:
         """Seconds until the next poll."""
 
+    def sample_interval(self, rng: Rng, metrics=None, **labels) -> float:
+        """Draw the next interval, recording it when a registry is given.
+
+        The engine calls this instead of :meth:`next_interval` so the
+        distribution §4 blames for T2A latency (the polling interval) is
+        captured as a first-class histogram
+        (``engine.poll_interval_seconds``) rather than re-derived from
+        trace scans.
+        """
+        interval = self.next_interval(rng)
+        if metrics is not None:
+            metrics.histogram(
+                "engine.poll_interval_seconds", policy=type(self).__name__, **labels
+            ).observe(interval)
+        return interval
+
     def observe_events(self, count: int) -> None:
         """Feedback hook: how many new events the last poll returned."""
 

@@ -153,6 +153,9 @@ class HttpNode(Node):
             src=self.address,
         )
         self.requests_issued += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("http.requests_issued", node=self.address.host).inc()
         sent_at = self.now
         timeout_event = None
         if on_response is not None:
@@ -177,6 +180,9 @@ class HttpNode(Node):
             return
         callback, _, sent_at = entry
         self.timeouts += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("http.timeouts", node=self.address.host).inc()
         callback(HttpResponse(status=599, body=None, request_id=request_id, elapsed=self.now - sent_at))
 
     # -- wire handling ---------------------------------------------------------
@@ -186,11 +192,17 @@ class HttpNode(Node):
             self.on_non_http_message(message)
             return
         payload = message.payload
+        metrics = self.metrics
         if payload["type"] == "request":
             request: HttpRequest = payload["request"]
             self.requests_served += 1
             response = self._dispatch(request)
             response.request_id = request.request_id
+            if metrics is not None:
+                metrics.counter("http.requests_served", node=self.address.host).inc()
+                metrics.counter(
+                    "http.responses", status_class=f"{response.status // 100}xx"
+                ).inc()
             reply = lambda: self.send(
                 message.src,
                 HTTP_PROTOCOL,
@@ -210,6 +222,10 @@ class HttpNode(Node):
             if timeout_event is not None:
                 timeout_event.cancel()
             response.elapsed = self.now - sent_at
+            if metrics is not None:
+                metrics.histogram("http.rtt_seconds", node=self.address.host).observe(
+                    response.elapsed
+                )
             callback(response)
         else:
             raise ValueError(f"unknown http payload type {payload['type']!r}")

@@ -28,9 +28,15 @@ class Network:
     invalidates the route cache.
     """
 
-    def __init__(self, sim: Simulator, rng: Optional[Rng] = None) -> None:
+    def __init__(
+        self, sim: Simulator, rng: Optional[Rng] = None, metrics=None
+    ) -> None:
         self.sim = sim
         self.rng = rng or Rng(seed=0, name="network")
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry` shared by
+        #: the whole topology; attached nodes reach it via
+        #: ``Node.metrics`` so one registry observes every vantage point.
+        self.metrics = metrics
         self._nodes: Dict[Address, Node] = {}
         self._links: Dict[FrozenSet[Address], Link] = {}
         self._adjacency: Dict[Address, List[Link]] = {}
@@ -151,7 +157,11 @@ class Network:
             delay = self.path_delay(message)
         except RoutingError:
             self.messages_dropped += 1
+            if self.metrics is not None:
+                self.metrics.counter("net.messages_dropped").inc()
             return
+        if self.metrics is not None:
+            self.metrics.histogram("net.delivery_seconds").observe(delay)
         self.sim.schedule(
             delay,
             self._deliver,
@@ -161,6 +171,8 @@ class Network:
 
     def _deliver(self, message: Message) -> None:
         self.messages_delivered += 1
+        if self.metrics is not None:
+            self.metrics.counter("net.messages_delivered").inc()
         self._nodes[message.dst].deliver(message)
 
     def __repr__(self) -> str:

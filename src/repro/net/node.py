@@ -24,6 +24,25 @@ class Node:
         self.network: Optional["Network"] = None
         self.messages_received = 0
         self.messages_sent = 0
+        self._metrics = None
+
+    @property
+    def metrics(self):
+        """The node's metrics registry, if any.
+
+        Falls back to the attached network's shared registry, so a node
+        is observable the moment its topology is (without threading a
+        registry through every constructor).
+        """
+        if self._metrics is not None:
+            return self._metrics
+        if self.network is not None:
+            return self.network.metrics
+        return None
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
 
     @property
     def sim(self):

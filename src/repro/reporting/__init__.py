@@ -13,6 +13,10 @@ from repro.reporting.figures import (
     export_rank_series,
     export_all_figures,
 )
+from repro.reporting.metrics_report import (
+    render_metrics_summary,
+    write_metrics_json,
+)
 
 __all__ = [
     "render_table",
@@ -24,4 +28,6 @@ __all__ = [
     "export_heatmap",
     "export_rank_series",
     "export_all_figures",
+    "render_metrics_summary",
+    "write_metrics_json",
 ]

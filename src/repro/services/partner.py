@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.net.address import Address
 from repro.net.http import HttpNode, HttpRequest
+from repro.obs.metrics import COUNT_BUCKETS
 from repro.services.buffer import TriggerBuffer, TriggerEvent
 from repro.services.endpoints import ActionEndpoint, QueryEndpoint, TriggerEndpoint
 from repro.simcore.trace import Trace
@@ -187,6 +188,10 @@ class PartnerService(HttpNode):
         if endpoint is None:
             raise KeyError(f"service {self.slug} has no trigger {trigger_slug!r}")
         self.events_ingested += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service.events_ingested", service=self.slug, trigger=trigger_slug
+            ).inc()
         affected: List[str] = []
         for identity, (slug, fields, buffer) in self._identities.items():
             if slug != trigger_slug:
@@ -276,6 +281,11 @@ class PartnerService(HttpNode):
         self.register_identity(slug, identity, fields)
         events = self.buffer_for(identity).fetch(limit)
         self.polls_served += 1
+        if self.metrics is not None:
+            self.metrics.counter("service.polls_served", service=self.slug).inc()
+            self.metrics.histogram(
+                "service.poll_batch_size", bounds=COUNT_BUCKETS, service=self.slug
+            ).observe(len(events))
         if self.trace is not None:
             self.trace.record(
                 self.now,

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import heapq
+import time as _wall  # "time" is a parameter name in run_until
 from typing import Any, Callable, List, Optional
 
 from repro.simcore.event import Event
@@ -37,6 +38,11 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._fired_count = 0
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
+        #: every run reports events fired, simulated time, and the
+        #: wall-clock event rate.  Attached post-construction so the
+        #: kernel stays free of upward imports.
+        self.metrics = None
 
     @property
     def now(self) -> float:
@@ -111,6 +117,7 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        started = _wall.perf_counter()
         try:
             while not self._stopped:
                 if max_events is not None and fired >= max_events:
@@ -120,6 +127,7 @@ class Simulator:
                 fired += 1
         finally:
             self._running = False
+            self._report_run(fired, _wall.perf_counter() - started)
         return fired
 
     def run_until(self, time: float, max_events: Optional[int] = None) -> int:
@@ -132,6 +140,7 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        started = _wall.perf_counter()
         try:
             while not self._stopped:
                 if max_events is not None and fired >= max_events:
@@ -143,6 +152,7 @@ class Simulator:
                 fired += 1
         finally:
             self._running = False
+            self._report_run(fired, _wall.perf_counter() - started)
         if not self._stopped:
             self._now = max(self._now, time)
         return fired
@@ -150,6 +160,23 @@ class Simulator:
     def stop(self) -> None:
         """Stop the current :meth:`run`/:meth:`run_until` after the active event."""
         self._stopped = True
+
+    def _report_run(self, fired: int, elapsed: float) -> None:
+        """Fold one run's kernel stats into the attached metrics registry.
+
+        Counters are bumped in bulk per run (not per event) to keep the
+        step loop free of instrumentation overhead.  The events/sec gauge
+        is wall-clock derived and therefore non-deterministic, but gauges
+        never feed back into the simulation.
+        """
+        if self.metrics is None or fired == 0:
+            return
+        scope = self.metrics.scoped("sim")
+        scope.counter("events_fired").inc(fired)
+        scope.counter("runs").inc()
+        scope.gauge("time_seconds").set(self._now)
+        if elapsed > 0:
+            scope.gauge("events_per_wallsec").set(fired / elapsed)
 
     def _peek(self) -> Optional[Event]:
         """Return the next live event without popping it, discarding canceled ones."""

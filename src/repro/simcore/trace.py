@@ -9,8 +9,9 @@ the paper instrumented its testbed at multiple vantage points.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -40,15 +41,34 @@ class TraceRecord:
 
 
 class Trace:
-    """An append-only, queryable log of :class:`TraceRecord` entries."""
+    """An append-only, queryable log of :class:`TraceRecord` entries.
 
-    def __init__(self) -> None:
-        self._records: List[TraceRecord] = []
+    By default the trace grows without bound — the right behaviour for
+    the paper's bounded experiments, but a memory leak for soak runs.
+    Passing ``max_records`` turns the store into a ring buffer: the
+    oldest records are evicted once the cap is reached (``dropped``
+    counts evictions), and every query sees only the retained window.
+    Because the simulation is deterministic, a bounded trace holds
+    exactly the suffix an unbounded run would have recorded, so
+    windowed §4 latency statistics are unaffected (see
+    ``tests/test_scenario_soak.py``).
+    """
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        self.max_records = max_records
+        self.dropped = 0
+        self.total_recorded = 0
+        self._records: Deque[TraceRecord] = deque(maxlen=max_records)
 
     def record(self, time: float, source: str, kind: str, **detail: Any) -> TraceRecord:
-        """Append and return a new record."""
+        """Append and return a new record (evicting the oldest when bounded)."""
         rec = TraceRecord(time=time, source=source, kind=kind, detail=detail)
+        if self.max_records is not None and len(self._records) == self.max_records:
+            self.dropped += 1
         self._records.append(rec)
+        self.total_recorded += 1
         return rec
 
     def __len__(self) -> int:

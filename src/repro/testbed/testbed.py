@@ -19,6 +19,7 @@ from repro.iot.wemo import WemoSwitch
 from repro.net.address import Address
 from repro.net.latency import cloud_internal_latency, lan_latency, wan_latency
 from repro.net.network import Network
+from repro.obs.metrics import MetricsRegistry
 from repro.services.custom import CustomService
 from repro.services.official import (
     OfficialAlexaService,
@@ -65,6 +66,13 @@ class TestbedConfig:
         Whether "Our Service" sends realtime hints.
     gmail_poll_interval, sheets_poll_interval, weather_poll_interval:
         Internal web-app poll cadences of the partner services.
+    trace_max_records:
+        When set, the shared trace becomes a ring buffer of this many
+        records (memory-bounded soak runs); ``None`` keeps the classic
+        unbounded trace.
+    metrics_enabled:
+        Build a shared :class:`~repro.obs.metrics.MetricsRegistry` and
+        attach it to the simulator, network, and engine.
     """
 
     __test__ = False  # not a pytest class, despite the name
@@ -76,6 +84,8 @@ class TestbedConfig:
     gmail_poll_interval: float = 10.0
     sheets_poll_interval: float = 15.0
     weather_poll_interval: float = 60.0
+    trace_max_records: Optional[int] = None
+    metrics_enabled: bool = True
 
 
 class Testbed:
@@ -93,8 +103,12 @@ class Testbed:
         self.config = config or TestbedConfig()
         self.sim = Simulator()
         self.rng = Rng(seed=self.config.seed, name="testbed")
-        self.trace = Trace()
-        self.network = Network(self.sim, self.rng.fork("network"))
+        self.trace = Trace(max_records=self.config.trace_max_records)
+        self.metrics = MetricsRegistry() if self.config.metrics_enabled else None
+        self.sim.metrics = self.metrics
+        self.network = Network(
+            self.sim, self.rng.fork("network"), metrics=self.metrics
+        )
         self.authorities: Dict[str, OAuthAuthority] = {}
         self._built = False
 

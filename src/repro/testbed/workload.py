@@ -26,6 +26,7 @@ from repro.engine.oauth import OAuthAuthority
 from repro.net.address import Address
 from repro.net.latency import cloud_internal_latency
 from repro.net.network import Network
+from repro.obs.metrics import MetricsRegistry
 from repro.services.endpoints import ActionEndpoint, TriggerEndpoint
 from repro.services.partner import PartnerService
 from repro.simcore.rng import Rng
@@ -42,6 +43,8 @@ class FleetResult:
     actions_executed: int
     latencies: List[float]
     poll_times: List[float]
+    #: Registry snapshot taken at the end of the run (see repro.obs).
+    metrics_snapshot: Optional[Dict] = None
 
     def peak_polls_per_second(self, window: float = 1.0) -> int:
         """Maximum engine polls in any ``window``-second interval."""
@@ -93,7 +96,9 @@ class FleetWorld:
         self.sim = Simulator()
         self.rng = Rng(seed=seed, name="fleet")
         self.trace = Trace()
-        self.network = Network(self.sim, self.rng.fork("net"))
+        self.metrics = MetricsRegistry()
+        self.sim.metrics = self.metrics
+        self.network = Network(self.sim, self.rng.fork("net"), metrics=self.metrics)
         self.engine = self.network.add_node(IftttEngine(
             Address("engine.ifttt.cloud"),
             config=engine_config or EngineConfig(),
@@ -170,6 +175,7 @@ class FleetWorld:
             poll_times=[
                 t for t in self.trace.times("engine_poll_sent") if t >= measure_start
             ],
+            metrics_snapshot=self.metrics.snapshot(),
         )
 
 
