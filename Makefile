@@ -1,6 +1,6 @@
 # Convenience targets for the IFTTT reproduction.
 
-.PHONY: install test test-fast bench bench-verbose examples figures clean
+.PHONY: install test test-fast bench bench-verbose examples figures chaos chaos-check clean
 
 install:
 	pip install -e .
@@ -28,6 +28,22 @@ examples:
 figures:
 	python -m repro export-figures --output figures/
 
+# Run every built-in chaos scenario (fault injection + resilience).
+chaos:
+	@for s in outage partition flappy; do \
+		echo "== chaos $$s"; \
+		python -m repro chaos --scenario $$s || exit 1; \
+		echo; \
+	done
+
+# Determinism check: the same scenario + seed twice must produce
+# byte-identical metric snapshots (docs/ROBUSTNESS.md).
+chaos-check:
+	@python -m repro chaos --scenario outage --seed 7 --snapshot .chaos-a.jsonl > /dev/null
+	@python -m repro chaos --scenario outage --seed 7 --snapshot .chaos-b.jsonl > /dev/null
+	@cmp .chaos-a.jsonl .chaos-b.jsonl && echo "chaos determinism: OK (snapshots byte-identical)"
+	@rm -f .chaos-a.jsonl .chaos-b.jsonl
+
 clean:
-	rm -rf figures/ .pytest_cache/ src/repro.egg-info/
+	rm -rf figures/ .pytest_cache/ src/repro.egg-info/ .chaos-a.jsonl .chaos-b.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,47 @@
+"""Chaos-scenario bench: fault injection + resilience accounting cost.
+
+Runs every built-in chaos scenario (60 s outage during a burst, 40 s
+engine↔core partition, flappy-sensor soak) and times the full
+inject→retry→shed→dead-letter→heal cycle.  The printed table is the
+resilience story in numbers: delivered vs dead-lettered vs silently
+lost (always zero), plus how hard the retry and breaker machinery
+worked to get there (see docs/ROBUSTNESS.md).
+"""
+
+from repro.reporting import render_table
+from repro.testbed.chaos import CHAOS_SCENARIOS, run_chaos_scenario
+
+
+def run_all(seed=7):
+    return {name: run_chaos_scenario(name, seed=seed) for name in CHAOS_SCENARIOS}
+
+
+def test_bench_chaos_scenarios(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\nchaos scenarios — delivery accounting under injected faults")
+    rows = []
+    for name, r in results.items():
+        rows.append([
+            name, r.events_injected, r.actions_delivered, r.actions_dead_lettered,
+            r.actions_silently_lost, r.engine_stats["action_retries"],
+            r.engine_stats["polls_shed"] + r.engine_stats["actions_shed"],
+            round(r.t2a_max("after"), 2),
+        ])
+    print(render_table(
+        ["scenario", "events", "delivered", "dead-letter", "lost",
+         "retries", "shed", "post-heal max T2A (s)"],
+        rows,
+    ))
+
+    for name, r in results.items():
+        # The headline invariant: chaos may delay or dead-letter, never lose.
+        assert r.actions_silently_lost == 0, name
+        assert r.events_observed == r.events_injected, name
+    outage = results["outage"]
+    assert outage.actions_dead_lettered > 0
+    assert any(new == "open" for _, _, _, new in outage.breaker_transitions)
+    # Post-heal latency is polling-bound again, not retry-bound.
+    assert outage.t2a_max("after") <= outage.t2a_max("before") + 5.0
+    assert results["partition"].actions_delivered == results["partition"].events_injected
+    assert results["flappy"].actions_silently_lost == 0

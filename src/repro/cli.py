@@ -8,6 +8,8 @@ Examples::
     python -m repro timeline
     python -m repro loops --kind implicit --runtime-detection
     python -m repro fleet --applets 150 --push
+    python -m repro chaos --scenario outage --snapshot chaos.jsonl
+    python -m repro chaos --scenario partition --faults plan.json
 """
 
 from __future__ import annotations
@@ -133,6 +135,37 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan, FaultPlanError
+    from repro.obs.metrics import snapshot_to_json_lines
+    from repro.testbed.chaos import CHAOS_SCENARIOS, run_chaos_scenario
+
+    if args.scenario not in CHAOS_SCENARIOS:
+        print(f"unknown chaos scenario {args.scenario!r}; "
+              f"choose from {sorted(CHAOS_SCENARIOS)}", file=sys.stderr)
+        return 2
+    plan = None
+    if args.faults:
+        try:
+            plan = FaultPlan.from_file(args.faults)
+        except (OSError, FaultPlanError) as exc:
+            print(f"cannot load fault plan {args.faults}: {exc}", file=sys.stderr)
+            return 2
+    result = run_chaos_scenario(args.scenario, seed=args.seed, plan=plan)
+    print(result.summary())
+    if result.actions_silently_lost:
+        print(f"INVARIANT VIOLATED: {result.actions_silently_lost} action(s) "
+              "silently lost", file=sys.stderr)
+        return 1
+    if args.snapshot:
+        with open(args.snapshot, "w", encoding="utf-8") as handle:
+            handle.write(snapshot_to_json_lines(result.snapshot) + "\n")
+        print(f"deterministic metrics snapshot written to {args.snapshot}")
+    if args.metrics:
+        _emit_metrics(result.snapshot, args.metrics)
+    return 0
+
+
 def _cmd_decompose(args: argparse.Namespace) -> int:
     from repro.reporting import render_table
     from repro.testbed.decomposition import mean_shares, run_decomposition
@@ -206,6 +239,18 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--metrics", metavar="PATH",
                        help="write the run's metrics report as JSON lines")
     fleet.set_defaults(func=_cmd_fleet)
+
+    chaos = sub.add_parser("chaos", help="run a fault-injection chaos scenario")
+    chaos.add_argument("--scenario", default="outage",
+                       help="outage, partition, or flappy (default outage)")
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--faults", metavar="PLAN.json",
+                       help="override the scenario's fault plan with a JSON plan file")
+    chaos.add_argument("--snapshot", metavar="PATH",
+                       help="write the deterministic metrics snapshot (JSON lines)")
+    chaos.add_argument("--metrics", metavar="PATH",
+                       help="write the run's metrics report as JSON lines")
+    chaos.set_defaults(func=_cmd_chaos)
 
     decompose = sub.add_parser("decompose", help="T2A latency stage decomposition")
     decompose.add_argument("--runs", type=int, default=15)

@@ -21,6 +21,9 @@ behaviour §4 measures:
   ("no syntax check is performed").
 * :mod:`repro.engine.local` — a home-LAN local engine and a hybrid
   scheduler, implementing §6's distributed-applet-execution proposal.
+* :mod:`repro.engine.resilience` — retry policies, per-service circuit
+  breakers, and the action dead-letter sink that keep the engine honest
+  under the fault plans of :mod:`repro.faults`.
 """
 
 from repro.engine.applet import Applet, TriggerRef, ActionRef, AppletState, QueryRef
@@ -45,6 +48,14 @@ from repro.engine.loops import (
     LoopFinding,
 )
 from repro.engine.local import LocalEngine, HybridScheduler
+from repro.engine.resilience import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    DeadLetter,
+    PendingAction,
+    RetryPolicy,
+)
 from repro.engine.filters import (
     FilterSyntaxError,
     FilterEvalError,
@@ -80,4 +91,10 @@ __all__ = [
     "LoopFinding",
     "LocalEngine",
     "HybridScheduler",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "PendingAction",
+    "DeadLetter",
 ]

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, Optional
 
 from repro.engine.poller import PollingPolicy, ProductionPollingPolicy
+from repro.engine.resilience import BreakerPolicy, RetryPolicy
 
 #: Services whose realtime hints production IFTTT is observed to honour.
 #: §4: "it is likely that IFTTT ... processes the real-time API hints for
@@ -52,6 +53,19 @@ class EngineConfig:
     runtime_loop_threshold, runtime_loop_window:
         The runtime detector's rate limit: more than ``threshold``
         executions of one applet within ``window`` seconds flags a loop.
+    retry_policy:
+        Backoff schedule for failed polls and action deliveries
+        (``None`` disables retries entirely: failed polls wait for the
+        next regular interval, failed actions dead-letter immediately).
+        Jitter is drawn from the engine's seeded RNG, so retry timing is
+        reproducible.  Only consulted on failures — healthy runs consume
+        no extra randomness and behave identically with or without it.
+    breaker_policy:
+        Per-service circuit-breaker tunables (``None`` disables
+        breakers).  An open breaker sheds polls/actions for its service,
+        modelling the adaptive slow-down of polling for failing
+        services; shed polls still count toward per-applet poll
+        attempts.  See ``docs/ROBUSTNESS.md``.
     """
 
     poll_policy: PollingPolicy = field(default_factory=ProductionPollingPolicy)
@@ -66,6 +80,8 @@ class EngineConfig:
     runtime_loop_detection: bool = False
     runtime_loop_threshold: int = 10
     runtime_loop_window: float = 60.0
+    retry_policy: Optional[RetryPolicy] = field(default_factory=RetryPolicy)
+    breaker_policy: Optional[BreakerPolicy] = field(default_factory=BreakerPolicy)
 
     def __post_init__(self) -> None:
         if self.batch_limit <= 0:

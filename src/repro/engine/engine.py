@@ -28,6 +28,12 @@ from repro.engine.loops import RuntimeLoopDetector, StaticLoopAnalyzer, LoopErro
 from repro.engine.oauth import OAuthAuthority, TokenCache
 from repro.engine.permissions import ServicePermissionModel
 from repro.engine.poller import PollingPolicy
+from repro.engine.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    DeadLetter,
+    PendingAction,
+)
 from repro.net.address import Address
 from repro.net.http import HttpNode, HttpRequest, HttpResponse
 from repro.obs.metrics import COUNT_BUCKETS
@@ -65,6 +71,7 @@ class _AppletRuntime:
     pending_poll_event: Any = None
     polls: int = 0
     last_poll_at: Optional[float] = None
+    poll_attempts: int = 0  # consecutive failed attempts in the current retry burst
 
 
 class IftttEngine(HttpNode):
@@ -117,6 +124,16 @@ class IftttEngine(HttpNode):
         self.query_failures = 0
         self.filter_skips = 0
         self.filter_errors = 0
+        # Resilience state: per-service breakers, retry counters, and the
+        # dead-letter sink that guarantees no action is silently lost.
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.polls_shed = 0
+        self.poll_retries = 0
+        self.actions_shed = 0
+        self.action_retries = 0
+        self.actions_delivered = 0
+        self.actions_in_retry = 0
+        self.dead_letters: List[DeadLetter] = []
         self.add_route("POST", REALTIME_NOTIFY_PATH, self._handle_realtime_hint)
 
     # -- service publication ------------------------------------------------------
@@ -312,7 +329,57 @@ class IftttEngine(HttpNode):
             "filter_errors": self.filter_errors,
             "realtime_hints_received": self.realtime_hints_received,
             "realtime_hints_honoured": self.realtime_hints_honoured,
+            "polls_shed": self.polls_shed,
+            "poll_retries": self.poll_retries,
+            "actions_shed": self.actions_shed,
+            "action_retries": self.action_retries,
+            "actions_delivered": self.actions_delivered,
+            "actions_in_retry": self.actions_in_retry,
+            "dead_letters": len(self.dead_letters),
         }
+
+    # -- resilience: per-service circuit breakers --------------------------------------
+
+    def breaker_for(self, service_slug: str) -> Optional[CircuitBreaker]:
+        """The (lazily created) breaker guarding one service, or ``None``.
+
+        Breakers exist only when :attr:`EngineConfig.breaker_policy` is
+        set; each one reports its transitions into the
+        ``engine.breaker_transitions`` counter family and the
+        ``engine.breaker_state`` gauge (closed=0, half-open=1, open=2).
+        """
+        policy = self.config.breaker_policy
+        if policy is None:
+            return None
+        breaker = self._breakers.get(service_slug)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                policy,
+                on_transition=lambda old, new, at, slug=service_slug: (
+                    self._on_breaker_transition(slug, old, new, at)
+                ),
+            )
+            self._breakers[service_slug] = breaker
+        return breaker
+
+    def breaker_states(self) -> Dict[str, str]:
+        """Current breaker state per service (for dashboards and tests)."""
+        return {slug: b.state.value for slug, b in sorted(self._breakers.items())}
+
+    def _on_breaker_transition(
+        self, slug: str, old: BreakerState, new: BreakerState, at: float
+    ) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "engine.breaker_transitions",
+                service=slug, from_state=old.value, to_state=new.value,
+            ).inc()
+            self.metrics.gauge("engine.breaker_state", service=slug).set(new.level)
+        if self.trace is not None:
+            self.trace.record(
+                at, "engine", "engine_breaker_transition",
+                service=slug, from_state=old.value, to_state=new.value,
+            )
 
     # -- the poll loop ----------------------------------------------------------------
 
@@ -329,6 +396,34 @@ class IftttEngine(HttpNode):
         runtime.pending_poll_event = None
         applet = runtime.applet
         if not applet.enabled or runtime.poll_in_flight:
+            return
+        breaker = self.breaker_for(applet.trigger.service_slug)
+        if breaker is not None and not breaker.allow(self.now):
+            # Open breaker: shed the poll instead of hammering a failing
+            # service.  The attempt still counts toward the applet's poll
+            # tally (the engine *tried*), but no request leaves the node;
+            # the regular cadence resumes and allow() will half-open the
+            # breaker once the recovery timeout passes.
+            runtime.polls += 1
+            self.polls_shed += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "engine.polls_shed", service=applet.trigger.service_slug
+                ).inc()
+            if self.trace is not None:
+                self.trace.record(
+                    self.now,
+                    "engine",
+                    "engine_poll_shed",
+                    applet_id=applet.applet_id,
+                    service=applet.trigger.service_slug,
+                )
+            self._schedule_next_poll(
+                runtime,
+                runtime.policy.sample_interval(
+                    self.rng, None, service=applet.trigger.service_slug
+                ),
+            )
             return
         registration = self._services[applet.trigger.service_slug]
         token = self.tokens.lookup(applet.user, applet.trigger.service_slug)
@@ -375,8 +470,12 @@ class IftttEngine(HttpNode):
         runtime.poll_in_flight = False
         applet = runtime.applet
         metrics = self.metrics
+        breaker = self.breaker_for(applet.trigger.service_slug)
         new_events: List[Dict[str, Any]] = []
         if response.ok:
+            if breaker is not None:
+                breaker.record_success(self.now)
+            runtime.poll_attempts = 0
             wire_events = (response.body or {}).get("data", [])
             # The wire carries newest-first; process in chronological order.
             for wire in reversed(wire_events):
@@ -387,6 +486,8 @@ class IftttEngine(HttpNode):
                 new_events.append(wire)
         else:
             self.poll_failures += 1
+            if breaker is not None:
+                breaker.record_failure(self.now)
             if metrics is not None:
                 metrics.counter(
                     "engine.poll_failures", status=response.status
@@ -411,6 +512,27 @@ class IftttEngine(HttpNode):
         runtime.policy.observe_events(len(new_events))
         for wire in new_events:
             self._process_event(runtime, wire)
+        if not response.ok:
+            runtime.poll_attempts += 1
+            retry = self.config.retry_policy
+            if (
+                retry is not None
+                and not retry.exhausted(runtime.poll_attempts)
+                and (breaker is None or breaker.state is not BreakerState.OPEN)
+            ):
+                # Retry the failed poll on capped exponential backoff —
+                # unless the breaker just opened, in which case the shed
+                # path owns pacing until the service recovers.
+                self.poll_retries += 1
+                if metrics is not None:
+                    metrics.counter(
+                        "engine.poll_retries", service=applet.trigger.service_slug
+                    ).inc()
+                self._schedule_next_poll(
+                    runtime, retry.backoff(runtime.poll_attempts, self.rng)
+                )
+                return
+            runtime.poll_attempts = 0  # burst over; fall back to the regular cadence
         self._schedule_next_poll(
             runtime,
             runtime.policy.sample_interval(
@@ -560,31 +682,133 @@ class IftttEngine(HttpNode):
                         applet_id=applet.applet_id,
                     )
                 return
+        record = PendingAction(
+            applet_id=applet.applet_id,
+            service_slug=action.service_slug,
+            action_slug=action.action_slug,
+            fields=fields,
+            user=applet.user,
+            event_id=wire_event["meta"]["id"],
+            created_at=self.now,
+        )
+        self._send_action(record)
+
+    def _send_action(self, record: PendingAction) -> None:
+        """One delivery attempt for a committed action.
+
+        Every call consumes an attempt, including breaker-shed ones — so
+        an action aimed at a service that never recovers drains its retry
+        budget and dead-letters instead of looping forever.
+        """
+        record.attempts += 1
+        breaker = self.breaker_for(record.service_slug)
+        if breaker is not None and not breaker.allow(self.now):
+            self.actions_shed += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "engine.actions_shed", service=record.service_slug
+                ).inc()
+            if self.trace is not None:
+                self.trace.record(
+                    self.now,
+                    "engine",
+                    "engine_action_shed",
+                    applet_id=record.applet_id,
+                    service=record.service_slug,
+                    attempt=record.attempts,
+                )
+            self._note_action_failure(record)
+            return
+        registration = self._services[record.service_slug]
         self.post(
             registration.address,
-            ACTION_PATH + action.action_slug,
-            body={"actionFields": fields, "user": applet.user},
-            headers=self._auth_headers(registration, applet.user),
-            on_response=lambda response, a=applet: self._on_action_response(a, response),
+            ACTION_PATH + record.action_slug,
+            body={"actionFields": record.fields, "user": record.user},
+            headers=self._auth_headers(registration, record.user),
+            on_response=lambda response, r=record: self._on_action_result(r, response),
             timeout=self.config.action_timeout,
         )
 
-    def _on_action_response(self, applet: Applet, response: HttpResponse) -> None:
-        if not response.ok:
-            self.action_failures += 1
-            if self.metrics is not None:
-                self.metrics.counter(
-                    "engine.action_failures", status=response.status
-                ).inc()
-        if self.metrics is not None:
-            self.metrics.histogram("engine.action_rtt_seconds").observe(response.elapsed)
+    def _on_action_result(self, record: PendingAction, response: HttpResponse) -> None:
+        record.last_status = response.status
+        breaker = self.breaker_for(record.service_slug)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.histogram("engine.action_rtt_seconds").observe(response.elapsed)
         if self.trace is not None:
             self.trace.record(
                 self.now,
                 "engine",
                 "engine_action_ack",
-                applet_id=applet.applet_id,
+                applet_id=record.applet_id,
                 status=response.status,
+                attempt=record.attempts,
+            )
+        if response.ok:
+            if breaker is not None:
+                breaker.record_success(self.now)
+            self.actions_delivered += 1
+            if metrics is not None:
+                metrics.counter(
+                    "engine.actions_delivered", service=record.service_slug
+                ).inc()
+            return
+        self.action_failures += 1
+        if breaker is not None:
+            breaker.record_failure(self.now)
+        if metrics is not None:
+            metrics.counter("engine.action_failures", status=response.status).inc()
+        self._note_action_failure(record)
+
+    def _note_action_failure(self, record: PendingAction) -> None:
+        """Retry a failed delivery, or seal it into the dead-letter sink."""
+        retry = self.config.retry_policy
+        if retry is not None and not retry.exhausted(record.attempts):
+            self.action_retries += 1
+            self.actions_in_retry += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "engine.action_retries", service=record.service_slug
+                ).inc()
+            delay = retry.backoff(record.attempts, self.rng)
+            if self.trace is not None:
+                self.trace.record(
+                    self.now,
+                    "engine",
+                    "engine_action_retry",
+                    applet_id=record.applet_id,
+                    service=record.service_slug,
+                    attempt=record.attempts,
+                    delay=round(delay, 6),
+                )
+            self.sim.schedule(
+                delay, self._retry_action, record, label=f"action-retry#{record.applet_id}"
+            )
+            return
+        reason = "max_attempts_exhausted" if retry is not None else "retries_disabled"
+        self._dead_letter(record, reason)
+
+    def _retry_action(self, record: PendingAction) -> None:
+        self.actions_in_retry -= 1
+        self._send_action(record)
+
+    def _dead_letter(self, record: PendingAction, reason: str) -> None:
+        letter = DeadLetter.from_pending(record, dead_at=self.now, reason=reason)
+        self.dead_letters.append(letter)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "engine.dead_letters", service=record.service_slug
+            ).inc()
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                "engine",
+                "engine_action_dead_letter",
+                applet_id=record.applet_id,
+                service=record.service_slug,
+                attempts=record.attempts,
+                last_status=record.last_status,
+                reason=reason,
             )
 
     # -- realtime API -------------------------------------------------------------------------

@@ -1,0 +1,238 @@
+"""Engine resilience primitives: retries, circuit breakers, dead letters.
+
+The paper measures IFTTT only on the happy path, but its §4 observations
+(long variable polling, partner outages surfacing as silent latency
+spikes) imply machinery on the real engine that this module makes
+explicit:
+
+* :class:`RetryPolicy` — capped exponential backoff with deterministic
+  jitter, drawn from the simulation RNG so retry storms are replayable;
+* :class:`CircuitBreaker` — the classic closed → open → half-open state
+  machine, kept per service by the engine.  An open breaker sheds polls
+  and action sends, modelling the adaptive slow-down of polling for
+  failing services;
+* :class:`PendingAction` / :class:`DeadLetter` — the engine's action
+  retry queue bookkeeping: every dispatched action is either delivered
+  or ends in the dead-letter sink; none is silently lost.
+
+See ``docs/ROBUSTNESS.md`` for the full semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.simcore.rng import Rng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts *every* try, including the first: the
+    default of 4 means one initial attempt plus up to three retries.
+    Backoff for retry ``n`` (1-based) is ``base_delay * multiplier**(n-1)``
+    capped at ``max_delay``, then jittered by ±``jitter`` (a fraction)
+    using the caller-supplied RNG — the simulation stream, so runs are
+    reproducible.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 1.0
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay <= 0 or self.max_delay < self.base_delay:
+            raise ValueError(
+                f"need 0 < base_delay <= max_delay, got {self.base_delay}, {self.max_delay}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff(self, attempt: int, rng: Optional[Rng] = None) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if rng is not None and self.jitter > 0:
+            delay *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return delay
+
+    def exhausted(self, attempts: int) -> bool:
+        """Whether ``attempts`` tries have used up the budget."""
+        return attempts >= self.max_attempts
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker states, ordered by severity."""
+
+    CLOSED = "closed"
+    HALF_OPEN = "half_open"
+    OPEN = "open"
+
+    @property
+    def level(self) -> int:
+        """Numeric level for gauges (closed=0, half_open=1, open=2)."""
+        return {"closed": 0, "half_open": 1, "open": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tunables for per-service circuit breakers."""
+
+    failure_threshold: int = 5
+    recovery_timeout: float = 30.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {self.failure_threshold}")
+        if self.recovery_timeout <= 0:
+            raise ValueError(f"recovery_timeout must be positive, got {self.recovery_timeout}")
+        if self.half_open_probes < 1:
+            raise ValueError(f"half_open_probes must be >= 1, got {self.half_open_probes}")
+
+
+TransitionHook = Callable[[BreakerState, BreakerState, float], None]
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker for one downstream service.
+
+    * **closed** — requests flow; ``failure_threshold`` consecutive
+      failures trip the breaker open.
+    * **open** — requests are shed without touching the network; after
+      ``recovery_timeout`` seconds the next :meth:`allow` moves to
+      half-open.
+    * **half-open** — up to ``half_open_probes`` probe requests are let
+      through; one success closes the breaker, one failure re-opens it.
+
+    The breaker is time-driven but clockless: callers pass ``now`` (the
+    simulation clock), keeping the class trivially testable.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[BreakerPolicy] = None,
+        on_transition: Optional[TransitionHook] = None,
+    ) -> None:
+        self.policy = policy or BreakerPolicy()
+        self.on_transition = on_transition
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probes_allowed = 0
+        self.shed_count = 0
+        #: Chronological (time, from, to) transition log for tests/reports.
+        self.transitions: List[Tuple[float, BreakerState, BreakerState]] = []
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state (as of the last :meth:`allow`/record call)."""
+        return self._state
+
+    def _transition(self, new_state: BreakerState, now: float) -> None:
+        old = self._state
+        if old is new_state:
+            return
+        self._state = new_state
+        self.transitions.append((now, old, new_state))
+        if self.on_transition is not None:
+            self.on_transition(old, new_state, now)
+
+    def allow(self, now: float) -> bool:
+        """Whether a request may go out at time ``now``."""
+        if self._state is BreakerState.OPEN:
+            if self._opened_at is not None and (
+                now - self._opened_at >= self.policy.recovery_timeout
+            ):
+                self._transition(BreakerState.HALF_OPEN, now)
+                self._probes_allowed = 0
+            else:
+                self.shed_count += 1
+                return False
+        if self._state is BreakerState.HALF_OPEN:
+            if self._probes_allowed < self.policy.half_open_probes:
+                self._probes_allowed += 1
+                return True
+            self.shed_count += 1
+            return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        """A request completed successfully."""
+        self._consecutive_failures = 0
+        if self._state is not BreakerState.CLOSED:
+            self._transition(BreakerState.CLOSED, now)
+
+    def record_failure(self, now: float) -> None:
+        """A request failed (error status, timeout, or refusal)."""
+        if self._state is BreakerState.HALF_OPEN:
+            self._opened_at = now
+            self._consecutive_failures = 0
+            self._transition(BreakerState.OPEN, now)
+        elif self._state is BreakerState.CLOSED:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.policy.failure_threshold:
+                self._opened_at = now
+                self._consecutive_failures = 0
+                self._transition(BreakerState.OPEN, now)
+        # While OPEN: stale failures from in-flight requests are ignored.
+
+    def __repr__(self) -> str:
+        return f"<CircuitBreaker {self._state.value} transitions={len(self.transitions)}>"
+
+
+@dataclass
+class PendingAction:
+    """One action delivery the engine has committed to completing."""
+
+    applet_id: int
+    service_slug: str
+    action_slug: str
+    fields: Dict[str, Any]
+    user: str
+    event_id: Any
+    created_at: float
+    attempts: int = 0
+    last_status: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A permanently failed action delivery — accounted, never silent."""
+
+    applet_id: int
+    service_slug: str
+    action_slug: str
+    fields: Dict[str, Any]
+    event_id: Any
+    created_at: float
+    dead_at: float
+    attempts: int
+    last_status: Optional[int]
+    reason: str
+
+    @staticmethod
+    def from_pending(pending: PendingAction, dead_at: float, reason: str) -> "DeadLetter":
+        """Seal a pending action into its dead-letter record."""
+        return DeadLetter(
+            applet_id=pending.applet_id,
+            service_slug=pending.service_slug,
+            action_slug=pending.action_slug,
+            fields=dict(pending.fields),
+            event_id=pending.event_id,
+            created_at=pending.created_at,
+            dead_at=dead_at,
+            attempts=pending.attempts,
+            last_status=pending.last_status,
+            reason=reason,
+        )

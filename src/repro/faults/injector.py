@@ -1,0 +1,299 @@
+"""Seeded deterministic fault injection.
+
+The :class:`FaultInjector` turns a declarative
+:class:`~repro.faults.plan.FaultPlan` into scheduled simulator events
+that flip fault state on and off at the planned times.  All randomness
+(per-message loss draws, brownout rejection draws) flows through one
+forked :class:`~repro.simcore.rng.Rng` stream, so a chaos run is exactly
+reproducible from ``(seed, plan)``.
+
+Hook design — zero cost when disabled:
+
+* the network consults ``network.faults`` (a :class:`NetworkFaultState`)
+  only when it is not ``None``; the injector installs it lazily, the
+  first time the plan contains a link fault;
+* partner services consult ``service.faults`` (a
+  :class:`ServiceFaultState`) inside their existing outage check, again
+  only when installed;
+* hard partitions and outages reuse the first-class knobs that already
+  exist (``Network.set_link_state``, ``PartnerService.set_outage``).
+
+Every activation and deactivation is counted in the ``faults.*`` metric
+family and recorded in the shared trace, so chaos runs are quantifiable
+after the fact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.faults.plan import (
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    LINK_DOWN,
+    LINK_KINDS,
+    LINK_LATENCY,
+    LINK_LOSS,
+    SERVICE_BROWNOUT,
+    SERVICE_FLAP,
+    SERVICE_OUTAGE,
+)
+from repro.net.address import Address
+from repro.simcore.rng import Rng
+
+LinkKey = FrozenSet[Address]
+
+
+class NetworkFaultState:
+    """Per-link loss and latency adjustments, consulted by the network.
+
+    :meth:`adjust` is the single hot-path entry point: given a link and
+    its freshly sampled delay, it returns the (possibly inflated) delay
+    and whether the message was lost on that hop.
+    """
+
+    def __init__(self, rng: Rng) -> None:
+        self._rng = rng
+        self._loss: Dict[LinkKey, float] = {}
+        self._latency: Dict[LinkKey, Tuple[float, float]] = {}
+        self.messages_lost = 0
+
+    def set_loss(self, key: LinkKey, probability: Optional[float]) -> None:
+        """Install (or clear, with ``None``) loss on one link."""
+        if probability is None:
+            self._loss.pop(key, None)
+        else:
+            self._loss[key] = probability
+
+    def set_latency(self, key: LinkKey, adjustment: Optional[Tuple[float, float]]) -> None:
+        """Install (or clear) a ``(multiplier, extra)`` latency adjustment."""
+        if adjustment is None:
+            self._latency.pop(key, None)
+        else:
+            self._latency[key] = adjustment
+
+    def adjust(self, link, delay: float) -> Tuple[float, bool]:
+        """Apply active faults to one hop; returns ``(delay, dropped)``."""
+        key = link.endpoints()
+        probability = self._loss.get(key)
+        if probability is not None and self._rng.bernoulli(probability):
+            self.messages_lost += 1
+            return delay, True
+        adjustment = self._latency.get(key)
+        if adjustment is not None:
+            multiplier, extra = adjustment
+            delay = delay * multiplier + extra
+        return delay, False
+
+
+class ServiceFaultState:
+    """Brownout state for one partner service.
+
+    The service's existing outage check consults :meth:`rejects` on
+    every API request; with no brownout active this is a single float
+    comparison.
+    """
+
+    def __init__(self, rng: Rng) -> None:
+        self._rng = rng
+        self.error_rate = 0.0
+        self.rejections = 0
+
+    def rejects(self) -> bool:
+        """Whether this request is rejected by the active brownout."""
+        if self.error_rate <= 0.0:
+            return False
+        if self._rng.bernoulli(self.error_rate):
+            self.rejections += 1
+            return True
+        return False
+
+
+class FaultInjector:
+    """Applies fault plans to a network and its partner services.
+
+    Parameters
+    ----------
+    sim:
+        The simulator faults are scheduled on.
+    network:
+        The :class:`~repro.net.network.Network` carrying the traffic.
+    services:
+        Iterable of :class:`~repro.services.partner.PartnerService`
+        (anything with ``slug``/``set_outage``); looked up by slug when
+        plans name service faults.
+    rng:
+        Seeded stream for loss/brownout draws; forked per concern so
+        fault draws never perturb the workload's randomness.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        the ``faults.*`` family.
+    trace:
+        Optional shared :class:`~repro.simcore.trace.Trace`.
+    """
+
+    def __init__(
+        self,
+        sim,
+        network,
+        services: Iterable = (),
+        rng: Optional[Rng] = None,
+        metrics=None,
+        trace=None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.rng = rng or Rng(seed=0, name="faults")
+        self.metrics = metrics
+        self.trace = trace
+        self._services = {service.slug: service for service in services}
+        self._net_state: Optional[NetworkFaultState] = None
+        self._saved_service_time: Dict[str, float] = {}
+        self.activations = 0
+        self.deactivations = 0
+        self.applied_plans: List[FaultPlan] = []
+
+    def register_service(self, service) -> None:
+        """Make one more service addressable by plans."""
+        self._services[service.slug] = service
+
+    # -- plan application ----------------------------------------------------
+
+    def apply(self, plan: FaultPlan) -> None:
+        """Validate the plan against the topology and schedule every fault."""
+        for spec in plan:
+            self._resolve(spec)  # fail fast on unknown targets
+        for spec in plan:
+            start = max(0.0, spec.at - self.sim.now)
+            self.sim.schedule(
+                start, self._activate, spec, label=f"fault-on:{spec.kind}"
+            )
+            self.sim.schedule(
+                start + spec.duration, self._deactivate, spec,
+                label=f"fault-off:{spec.kind}",
+            )
+        self.applied_plans.append(plan)
+
+    def _resolve(self, spec: FaultSpec):
+        """The target object of a spec (service or link), validated."""
+        if spec.kind in LINK_KINDS:
+            a, b = Address(spec.a), Address(spec.b)
+            link = self.network.link_between(a, b)
+            if link is None:
+                raise FaultPlanError(f"{spec.kind}: no link between {spec.a} and {spec.b}")
+            return link
+        service = self._services.get(spec.service)
+        if service is None:
+            raise FaultPlanError(
+                f"{spec.kind}: unknown service {spec.service!r}; "
+                f"known: {sorted(self._services)}"
+            )
+        return service
+
+    # -- network state installation -----------------------------------------
+
+    def _network_state(self) -> NetworkFaultState:
+        if self._net_state is None:
+            self._net_state = NetworkFaultState(self.rng.fork("net-loss"))
+            self.network.faults = self._net_state
+        return self._net_state
+
+    def _service_state(self, service) -> ServiceFaultState:
+        if service.faults is None:
+            service.faults = ServiceFaultState(self.rng.fork(f"svc-{service.slug}"))
+        return service.faults
+
+    # -- activation / deactivation ------------------------------------------
+
+    def _note(self, spec: FaultSpec, active: bool) -> None:
+        if active:
+            self.activations += 1
+        else:
+            self.deactivations += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "faults.activations" if active else "faults.deactivations",
+                kind=spec.kind,
+            ).inc()
+            self.metrics.gauge("faults.active").add(1 if active else -1)
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                "faults",
+                "fault_activated" if active else "fault_deactivated",
+                fault_kind=spec.kind,
+                target=spec.service or f"{spec.a}<->{spec.b}",
+            )
+
+    def _activate(self, spec: FaultSpec) -> None:
+        kind = spec.kind
+        if kind == SERVICE_OUTAGE:
+            self._resolve(spec).set_outage(True)
+        elif kind == SERVICE_BROWNOUT:
+            service = self._resolve(spec)
+            self._service_state(service).error_rate = spec.error_rate
+            if spec.extra_latency > 0:
+                self._saved_service_time.setdefault(service.slug, service.service_time)
+                service.service_time = (
+                    self._saved_service_time[service.slug] + spec.extra_latency
+                )
+        elif kind == SERVICE_FLAP:
+            self._flap(spec, down=True)
+        elif kind == LINK_DOWN:
+            link = self._resolve(spec)
+            self.network.set_link_state(link.a, link.b, up=False)
+        elif kind == LINK_LOSS:
+            link = self._resolve(spec)
+            self._network_state().set_loss(link.endpoints(), spec.loss)
+        elif kind == LINK_LATENCY:
+            link = self._resolve(spec)
+            self._network_state().set_latency(
+                link.endpoints(), (spec.multiplier, spec.extra)
+            )
+        self._note(spec, active=True)
+
+    def _deactivate(self, spec: FaultSpec) -> None:
+        kind = spec.kind
+        if kind == SERVICE_OUTAGE:
+            self._resolve(spec).set_outage(False)
+        elif kind == SERVICE_BROWNOUT:
+            service = self._resolve(spec)
+            if service.faults is not None:
+                service.faults.error_rate = 0.0
+            saved = self._saved_service_time.pop(service.slug, None)
+            if saved is not None:
+                service.service_time = saved
+        elif kind == SERVICE_FLAP:
+            self._resolve(spec).set_outage(False)
+        elif kind == LINK_DOWN:
+            link = self._resolve(spec)
+            self.network.set_link_state(link.a, link.b, up=True)
+        elif kind == LINK_LOSS:
+            if self._net_state is not None:
+                self._net_state.set_loss(self._resolve(spec).endpoints(), None)
+        elif kind == LINK_LATENCY:
+            if self._net_state is not None:
+                self._net_state.set_latency(self._resolve(spec).endpoints(), None)
+        self._note(spec, active=False)
+
+    def _flap(self, spec: FaultSpec, down: bool) -> None:
+        """One phase of a flap cycle; reschedules itself within the window."""
+        service = self._resolve(spec)
+        now = self.sim.now
+        if now >= spec.end:
+            service.set_outage(False)
+            return
+        service.set_outage(down)
+        phase = spec.period * (spec.duty if down else (1.0 - spec.duty))
+        self.sim.schedule(
+            min(phase, max(0.0, spec.end - now)),
+            self._flap, spec, not down,
+            label=f"fault-flap:{spec.service}",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector services={len(self._services)} "
+            f"activations={self.activations}>"
+        )

@@ -10,8 +10,9 @@ requests time out if the peer or path is unavailable.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
 
 from repro.net.address import Address
 from repro.net.message import Message
@@ -21,6 +22,9 @@ _request_ids = itertools.count(1)
 
 HTTP_PROTOCOL = "http"
 DEFAULT_TIMEOUT = 30.0
+#: How many timed-out request ids are remembered so that their responses,
+#: should they straggle in later, are counted as late rather than lost.
+TIMED_OUT_MEMORY = 4096
 
 
 class HttpError(RuntimeError):
@@ -91,9 +95,13 @@ class HttpNode(Node):
         self.service_time = service_time
         self._routes: Dict[Tuple[str, str], RouteHandler] = {}
         self._pending: Dict[int, Tuple[ResponseCallback, Any, float]] = {}
+        self._timed_out_ids: Set[int] = set()
+        self._timed_out_order: Deque[int] = deque()
         self.requests_served = 0
         self.requests_issued = 0
         self.timeouts = 0
+        self.late_responses = 0
+        self.connection_refused = 0
 
     # -- server side ---------------------------------------------------------
 
@@ -180,10 +188,63 @@ class HttpNode(Node):
             return
         callback, _, sent_at = entry
         self.timeouts += 1
+        self._remember_timed_out(request_id)
         metrics = self.metrics
         if metrics is not None:
             metrics.counter("http.timeouts", node=self.address.host).inc()
         callback(HttpResponse(status=599, body=None, request_id=request_id, elapsed=self.now - sent_at))
+
+    def _remember_timed_out(self, request_id: int) -> None:
+        """Track a timed-out id (bounded) so late responses are countable."""
+        self._timed_out_ids.add(request_id)
+        self._timed_out_order.append(request_id)
+        while len(self._timed_out_order) > TIMED_OUT_MEMORY:
+            self._timed_out_ids.discard(self._timed_out_order.popleft())
+
+    # -- synchronous transmit failures ---------------------------------------
+
+    def on_transmit_failed(self, message: Message, reason: str) -> None:
+        """Turn an unroutable outgoing request into an immediate 503.
+
+        Without this, a request to an unreachable destination was
+        indistinguishable from a slow peer: the caller waited out the
+        full timeout.  The network reports the missing route
+        synchronously, so we answer with a synthetic
+        ``503 connection refused`` right away.  The callback is deferred
+        by one zero-delay event so callers never observe a response
+        before :meth:`request` has returned.
+        """
+        if message.protocol != HTTP_PROTOCOL:
+            return
+        payload = message.payload
+        if not isinstance(payload, dict) or payload.get("type") != "request":
+            return
+        self.connection_refused += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("net.connection_refused", node=self.address.host).inc()
+        request: HttpRequest = payload["request"]
+        entry = self._pending.pop(request.request_id, None)
+        if entry is None:
+            return  # fire-and-forget: nothing awaits an answer
+        callback, timeout_event, sent_at = entry
+        if timeout_event is not None:
+            timeout_event.cancel()
+        response = HttpResponse(
+            status=503,
+            body={"error": "connection refused", "reason": reason},
+            request_id=request.request_id,
+        )
+        self.sim.schedule(
+            0.0, self._deliver_refusal, callback, response, sent_at,
+            label=f"http-refused#{request.request_id}",
+        )
+
+    def _deliver_refusal(
+        self, callback: ResponseCallback, response: HttpResponse, sent_at: float
+    ) -> None:
+        response.elapsed = self.now - sent_at
+        callback(response)
 
     # -- wire handling ---------------------------------------------------------
 
@@ -217,7 +278,19 @@ class HttpNode(Node):
             response: HttpResponse = payload["response"]
             entry = self._pending.pop(response.request_id, None)
             if entry is None:
-                return  # late response after timeout, or fire-and-forget request
+                # Late response after the timeout already fired, or a
+                # fire-and-forget request.  Late ones are counted — a
+                # silent mismatch between issued timeouts and stragglers
+                # hides slow-but-alive services; nothing is cancelled or
+                # called back twice.
+                if response.request_id in self._timed_out_ids:
+                    self._timed_out_ids.discard(response.request_id)
+                    self.late_responses += 1
+                    if metrics is not None:
+                        metrics.counter(
+                            "http.late_responses", node=self.address.host
+                        ).inc()
+                return
             callback, timeout_event, sent_at = entry
             if timeout_event is not None:
                 timeout_event.cancel()

@@ -37,6 +37,11 @@ class Network:
         #: the whole topology; attached nodes reach it via
         #: ``Node.metrics`` so one registry observes every vantage point.
         self.metrics = metrics
+        #: Optional :class:`~repro.faults.injector.NetworkFaultState`
+        #: installed by a :class:`~repro.faults.injector.FaultInjector`.
+        #: ``None`` (the default) keeps transmission on the exact
+        #: fault-free fast path.
+        self.faults = None
         self._nodes: Dict[Address, Node] = {}
         self._links: Dict[FrozenSet[Address], Link] = {}
         self._adjacency: Dict[Address, List[Link]] = {}
@@ -147,18 +152,34 @@ class Network:
     def transmit(self, message: Message) -> None:
         """Route and schedule delivery of a message.
 
-        Messages to unreachable destinations are counted as dropped rather
-        than raising, matching real networks where a sender only learns of
-        the failure from a timeout (callers that care use HTTP timeouts).
+        Messages to unreachable destinations are counted as dropped and
+        the sender is told synchronously via
+        :meth:`~repro.net.node.Node.on_transmit_failed` — the network
+        *knows* there is no path, so callers get an immediate
+        connection-refused instead of waiting out an HTTP timeout.
+        In-flight loss injected by an active fault plan keeps classic
+        timeout semantics: the message silently vanishes mid-path.
         """
         if message.dst not in self._nodes:
             raise KeyError(f"message to unregistered address {message.dst}")
         try:
-            delay = self.path_delay(message)
+            if self.faults is None:
+                delay = self.path_delay(message)
+            else:
+                delay = self._faulted_path_delay(message)
         except RoutingError:
             self.messages_dropped += 1
             if self.metrics is not None:
                 self.metrics.counter("net.messages_dropped").inc()
+            sender = self._nodes.get(message.src)
+            if sender is not None:
+                sender.on_transmit_failed(message, "no route")
+            return
+        if delay is None:  # lost in flight by fault injection
+            self.messages_dropped += 1
+            if self.metrics is not None:
+                self.metrics.counter("net.messages_dropped").inc()
+                self.metrics.counter("net.messages_lost").inc()
             return
         if self.metrics is not None:
             self.metrics.histogram("net.delivery_seconds").observe(delay)
@@ -168,6 +189,19 @@ class Network:
             message,
             label=f"deliver#{message.msg_id}",
         )
+
+    def _faulted_path_delay(self, message: Message) -> Optional[float]:
+        """Per-hop delay with active fault adjustments; ``None`` = lost."""
+        path = self.route(message.src, message.dst)
+        faults = self.faults
+        total = 0.0
+        for link in path:
+            delay = link.sample_delay(self.rng, message.size_bytes)
+            delay, dropped = faults.adjust(link, delay)
+            if dropped:
+                return None
+            total += delay
+        return total
 
     def _deliver(self, message: Message) -> None:
         self.messages_delivered += 1

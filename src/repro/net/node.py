@@ -84,5 +84,14 @@ class Node:
     def on_message(self, message: Message) -> None:
         """Handle an arriving message.  Default: ignore."""
 
+    def on_transmit_failed(self, message: Message, reason: str) -> None:
+        """Synchronous notification that a sent message could not be routed.
+
+        The network calls this when it knows *immediately* that a message
+        has no path (the moral equivalent of a TCP connection refused /
+        ICMP unreachable), as opposed to in-flight loss, which the sender
+        only discovers via its own timeout.  Default: ignore.
+        """
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.address.host}>"

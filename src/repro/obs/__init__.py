@@ -20,6 +20,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     ScopedRegistry,
+    WALLCLOCK_METRICS,
+    deterministic_snapshot,
     merge_snapshots,
     snapshot_from_json_lines,
     snapshot_to_json_lines,
@@ -47,7 +49,9 @@ __all__ = [
     "QuantileSketch",
     "ReservoirSample",
     "ScopedRegistry",
+    "WALLCLOCK_METRICS",
     "bridge_trace",
+    "deterministic_snapshot",
     "merge_snapshots",
     "poll_latency_summary",
     "rank_error",

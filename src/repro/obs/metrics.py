@@ -406,6 +406,31 @@ def merge_snapshots(*snapshots: Dict[str, Any]) -> Dict[str, Any]:
     return {"metrics": entries}
 
 
+#: Metric names measured against the host's wall clock rather than the
+#: simulation clock.  They vary run to run on the same seed, so any
+#: byte-identical determinism check must exclude them.
+WALLCLOCK_METRICS = frozenset({"sim.events_per_wallsec"})
+
+
+def deterministic_snapshot(source: Any) -> Dict[str, Any]:
+    """A snapshot with wall-clock-dependent metrics filtered out.
+
+    ``source`` may be a :class:`MetricsRegistry` or an already-taken
+    snapshot dict.  Two runs of the same scenario with the same seed and
+    fault plan serialize the result byte-identically (see
+    ``make chaos-check``); the raw :meth:`MetricsRegistry.snapshot`
+    does not, because of :data:`WALLCLOCK_METRICS`.
+    """
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    return {
+        "metrics": [
+            entry
+            for entry in snapshot["metrics"]
+            if entry["name"] not in WALLCLOCK_METRICS
+        ]
+    }
+
+
 def snapshot_to_json_lines(snapshot: Dict[str, Any]) -> str:
     """Serialize a snapshot as one JSON object per line."""
     return "\n".join(

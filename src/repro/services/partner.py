@@ -83,6 +83,11 @@ class PartnerService(HttpNode):
         self.auth_failures = 0
         self.outage = False
         self.requests_rejected_during_outage = 0
+        #: Optional :class:`~repro.faults.injector.ServiceFaultState`
+        #: installed by a fault injector; ``None`` keeps the request path
+        #: free of fault checks.
+        self.faults = None
+        self.requests_rejected_by_faults = 0
         self.add_route("POST", TRIGGER_PATH, self._handle_trigger_poll)
         self.add_route("POST", ACTION_PATH, self._handle_action)
         self.add_route("POST", QUERY_PATH, self._handle_query)
@@ -239,6 +244,13 @@ class PartnerService(HttpNode):
         if self.outage:
             self.requests_rejected_during_outage += 1
             return 503, {"errors": [{"message": "service unavailable"}]}
+        if self.faults is not None and self.faults.rejects():
+            self.requests_rejected_by_faults += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "service.brownout_rejections", service=self.slug
+                ).inc()
+            return 503, {"errors": [{"message": "service browning out"}]}
         return None
 
     def _handle_status(self, request: HttpRequest):

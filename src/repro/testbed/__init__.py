@@ -18,12 +18,22 @@ The experiment modules reproduce each §4 measurement:
 * :mod:`repro.testbed.sequential` — Figure 6 (clustered batched actions).
 * :mod:`repro.testbed.concurrent` — Figure 7 (same-trigger divergence).
 * :mod:`repro.testbed.loops` — the explicit/implicit infinite loops.
+* :mod:`repro.testbed.chaos` — fault-plan chaos scenarios (outage,
+  partition, flappy soak) proving the engine's resilience guarantees.
 """
 
 from repro.testbed.testbed import Testbed, TestbedConfig
 from repro.testbed.applets import AppletSpec, APPLET_SUITE, applet_spec
 from repro.testbed.controller import TestController, T2AMeasurement
 from repro.testbed.scenarios import Scenario, build_scenario, run_scenario_t2a
+from repro.testbed.chaos import (
+    CHAOS_SCENARIOS,
+    ChaosResult,
+    ChaosScenario,
+    ChaosWorld,
+    chaos_scenario,
+    run_chaos_scenario,
+)
 from repro.testbed.t2a import run_official_t2a, T2AResults
 from repro.testbed.sequential import run_sequential_experiment, SequentialResult, find_clusters
 from repro.testbed.concurrent import run_concurrent_experiment, ConcurrentResult
@@ -49,6 +59,12 @@ __all__ = [
     "Scenario",
     "build_scenario",
     "run_scenario_t2a",
+    "CHAOS_SCENARIOS",
+    "ChaosResult",
+    "ChaosScenario",
+    "ChaosWorld",
+    "chaos_scenario",
+    "run_chaos_scenario",
     "run_official_t2a",
     "T2AResults",
     "run_sequential_experiment",

@@ -1,0 +1,351 @@
+"""Chaos scenarios: fault plans driven against a dedicated trigger/action world.
+
+A :class:`ChaosWorld` is the smallest topology that exercises every
+resilience mechanism end to end — one engine, one trigger ("sensor")
+service, one action ("sink") service, joined through a core router — so
+the effects of a :class:`~repro.faults.plan.FaultPlan` can be measured
+precisely:
+
+* every injected event carries its injection time, so trigger-to-action
+  latency is measured at the *delivery* point (the sink's executor), not
+  just at dispatch — retries and breaker shedding are visible in T2A;
+* the engine's action accounting (delivered + dead-lettered + in-retry)
+  is checked against dispatches: a chaos run proves no action is
+  silently lost;
+* the world snapshots its metrics via
+  :func:`~repro.obs.metrics.deterministic_snapshot`, so the same
+  ``(scenario, seed)`` serializes byte-identically run after run
+  (``make chaos-check``).
+
+Three scenarios ship built in:
+
+``outage``
+    A 60 s full outage of the action service, landing on top of an
+    event burst — actions retry, shed against the open breaker, and
+    dead-letter; T2A recovers to baseline after the heal.
+``partition``
+    The engine↔core link partitions for 40 s and heals — polls fail
+    fast as connection-refused, events buffer at the (healthy) sensor,
+    and delivery catches up after the heal.
+``flappy``
+    The sensor flaps (down half of every 24 s) for three minutes under
+    steady load — a soak proving dedup and delivery conservation
+    through repeated short outages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.applet import ActionRef, TriggerRef
+from repro.engine.config import EngineConfig
+from repro.engine.engine import IftttEngine
+from repro.engine.oauth import OAuthAuthority
+from repro.engine.poller import FixedPollingPolicy
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, link_down, service_flap, service_outage
+from repro.iot.gateway import GatewayRouter
+from repro.net.address import Address
+from repro.net.latency import cloud_internal_latency
+from repro.net.network import Network
+from repro.obs.metrics import MetricsRegistry, deterministic_snapshot
+from repro.services.endpoints import ActionEndpoint, TriggerEndpoint
+from repro.services.partner import PartnerService
+from repro.simcore.rng import Rng
+from repro.simcore.simulator import Simulator
+from repro.simcore.trace import Trace
+
+ENGINE_HOST = "engine.ifttt.cloud"
+CORE_HOST = "core.internet"
+SENSOR_HOST = "sensor.cloud"
+SINK_HOST = "sink.cloud"
+SENSOR_SLUG = "chaos_sensor"
+SINK_SLUG = "chaos_sink"
+CHAOS_USER = "chaos"
+
+#: Extra settle time after the injection horizon so in-flight retries,
+#: breaker recoveries, and buffered events all conclude before the
+#: world's accounting is read.
+DRAIN_SECONDS = 90.0
+
+
+def _cadence(start: float, stop: float, step: float) -> Tuple[float, ...]:
+    times = []
+    t = start
+    while t < stop:
+        times.append(round(t, 6))
+        t += step
+    return tuple(times)
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named chaos experiment: an event schedule plus a fault plan."""
+
+    name: str
+    description: str
+    event_times: Tuple[float, ...]
+    plan: FaultPlan
+
+    @property
+    def horizon(self) -> float:
+        """When injection and faulting are both over."""
+        last_event = self.event_times[-1] if self.event_times else 0.0
+        return max(last_event, self.plan.end_time)
+
+
+CHAOS_SCENARIOS: Dict[str, ChaosScenario] = {
+    "outage": ChaosScenario(
+        name="outage",
+        description="60 s action-service outage during an event burst",
+        event_times=tuple(sorted(
+            _cadence(10.0, 190.0, 4.0) + _cadence(70.0, 90.0, 1.0)
+        )),
+        plan=FaultPlan((service_outage(SINK_SLUG, at=60.0, duration=60.0),)),
+    ),
+    "partition": ChaosScenario(
+        name="partition",
+        description="engine↔core partition for 40 s, then heal",
+        event_times=_cadence(10.0, 190.0, 4.0),
+        plan=FaultPlan((link_down(ENGINE_HOST, CORE_HOST, at=60.0, duration=40.0),)),
+    ),
+    "flappy": ChaosScenario(
+        name="flappy",
+        description="sensor service flapping (12 s down / 12 s up) soak",
+        event_times=_cadence(10.0, 280.0, 4.0),
+        plan=FaultPlan((
+            service_flap(SENSOR_SLUG, at=30.0, duration=180.0, period=24.0, duty=0.5),
+        )),
+    ),
+}
+
+
+def chaos_scenario(name: str) -> ChaosScenario:
+    """Look up a built-in chaos scenario by name."""
+    try:
+        return CHAOS_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown chaos scenario {name!r}; expected one of {sorted(CHAOS_SCENARIOS)}"
+        ) from None
+
+
+@dataclass
+class ChaosResult:
+    """Everything a chaos run proves, in one record."""
+
+    scenario: str
+    seed: int
+    ran_until: float
+    events_injected: int
+    events_observed: int
+    actions_dispatched: int
+    actions_delivered: int
+    actions_dead_lettered: int
+    actions_in_retry: int
+    t2a_by_phase: Dict[str, List[float]]
+    breaker_transitions: List[Tuple[float, str, str, str]]
+    faults_activated: int
+    faults_deactivated: int
+    engine_stats: Dict[str, int]
+    snapshot: Dict[str, Any] = field(repr=False)
+
+    @property
+    def actions_silently_lost(self) -> int:
+        """Dispatches unaccounted for — the invariant says zero."""
+        return (
+            self.actions_dispatched
+            - self.actions_delivered
+            - self.actions_dead_lettered
+            - self.actions_in_retry
+        )
+
+    def t2a_max(self, phase: str) -> float:
+        """Worst T2A in one phase (0.0 when the phase saw no deliveries)."""
+        values = self.t2a_by_phase.get(phase, [])
+        return max(values) if values else 0.0
+
+    def summary(self) -> str:
+        """A human-readable multi-line report."""
+        lines = [
+            f"chaos scenario {self.scenario!r} (seed {self.seed}, "
+            f"t={self.ran_until:g}s)",
+            f"  events:  injected={self.events_injected} "
+            f"observed={self.events_observed}",
+            f"  actions: dispatched={self.actions_dispatched} "
+            f"delivered={self.actions_delivered} "
+            f"dead-lettered={self.actions_dead_lettered} "
+            f"in-retry={self.actions_in_retry} "
+            f"silently-lost={self.actions_silently_lost}",
+            f"  faults:  activated={self.faults_activated} "
+            f"deactivated={self.faults_deactivated}",
+            f"  engine:  retries poll={self.engine_stats['poll_retries']} "
+            f"action={self.engine_stats['action_retries']}; shed "
+            f"polls={self.engine_stats['polls_shed']} "
+            f"actions={self.engine_stats['actions_shed']}",
+        ]
+        for phase in ("before", "during", "after"):
+            values = self.t2a_by_phase.get(phase, [])
+            if values:
+                mean = sum(values) / len(values)
+                lines.append(
+                    f"  t2a[{phase:6s}]: n={len(values)} mean={mean:.2f}s "
+                    f"max={max(values):.2f}s"
+                )
+        for at, service, old, new in self.breaker_transitions:
+            lines.append(f"  breaker {service}: {old} -> {new} at t={at:.2f}s")
+        return "\n".join(lines)
+
+
+class ChaosWorld:
+    """The minimal fault-injection topology (engine, sensor, sink).
+
+    (``__test__`` opts the class out of pytest collection.)
+    """
+
+    __test__ = False
+
+    def __init__(
+        self,
+        seed: int = 7,
+        poll_interval: float = 5.0,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.seed = seed
+        self.sim = Simulator()
+        self.rng = Rng(seed=seed, name="chaos")
+        self.trace = Trace()
+        self.metrics = MetricsRegistry()
+        self.sim.metrics = self.metrics
+        self.network = Network(self.sim, self.rng.fork("network"), metrics=self.metrics)
+        config = engine_config or EngineConfig(
+            poll_policy=FixedPollingPolicy(poll_interval),
+            initial_poll_delay=0.5,
+            poll_timeout=10.0,
+            action_timeout=10.0,
+        )
+        self.engine = self.network.add_node(IftttEngine(
+            Address(ENGINE_HOST), config=config,
+            rng=self.rng.fork("engine"), trace=self.trace, service_time=0.0,
+        ))
+        self.core = self.network.add_node(GatewayRouter(Address(CORE_HOST)))
+        self.sensor = self.network.add_node(PartnerService(
+            Address(SENSOR_HOST), slug=SENSOR_SLUG, trace=self.trace, service_time=0.0,
+        ))
+        self.sink = self.network.add_node(PartnerService(
+            Address(SINK_HOST), slug=SINK_SLUG, trace=self.trace, service_time=0.0,
+        ))
+        for node in (self.engine, self.sensor, self.sink):
+            self.network.connect(node.address, self.core.address, cloud_internal_latency())
+
+        #: ``(delivered_at, fields)`` per sink execution, in delivery order.
+        self.delivered: List[Tuple[float, Dict[str, Any]]] = []
+        self.events_injected = 0
+        self.sensor.add_trigger(TriggerEndpoint(slug="tick", name="Tick"))
+        self.sink.add_action(ActionEndpoint(
+            slug="deliver", name="Deliver",
+            executor=lambda fields: self.delivered.append((self.sim.now, dict(fields))),
+        ))
+        for service in (self.sensor, self.sink):
+            self.engine.publish_service(service)
+            authority = OAuthAuthority(service.slug)
+            authority.register_user(CHAOS_USER, "pw")
+            self.engine.connect_service(CHAOS_USER, service, authority, "pw")
+        self.applet = self.engine.install_applet(
+            user=CHAOS_USER, name="tick->deliver",
+            trigger=TriggerRef(SENSOR_SLUG, "tick"),
+            action=ActionRef(SINK_SLUG, "deliver",
+                             {"n": "{{n}}", "injected_at": "{{injected_at}}"}),
+        )
+        self.injector = FaultInjector(
+            self.sim, self.network,
+            services=(self.sensor, self.sink),
+            rng=self.rng.fork("faults"),
+            metrics=self.metrics, trace=self.trace,
+        )
+
+    def schedule_events(self, times: Tuple[float, ...]) -> None:
+        """Schedule one sensor event per entry (absolute sim seconds)."""
+        for index, at in enumerate(times):
+            self.sim.schedule(
+                max(0.0, at - self.sim.now), self._inject, index, at,
+                label=f"chaos-event#{index}",
+            )
+
+    def _inject(self, index: int, planned_at: float) -> None:
+        self.events_injected += 1
+        self.sensor.ingest_event("tick", {"n": index, "injected_at": planned_at})
+
+    def run(self, scenario: ChaosScenario, drain: float = DRAIN_SECONDS) -> ChaosResult:
+        """Apply the scenario's plan, drive its events, settle, account."""
+        self.injector.apply(scenario.plan)
+        self.schedule_events(scenario.event_times)
+        until = scenario.horizon + drain
+        self.sim.run_until(until)
+        return self._result(scenario, until)
+
+    def _result(self, scenario: ChaosScenario, until: float) -> ChaosResult:
+        engine = self.engine
+        t2a_by_phase: Dict[str, List[float]] = {}
+        for delivered_at, fields in self.delivered:
+            injected_at = float(fields["injected_at"])
+            phase = _phase_of(scenario.plan, injected_at)
+            t2a_by_phase.setdefault(phase, []).append(delivered_at - injected_at)
+        transitions = sorted(
+            (at, slug, old.value, new.value)
+            for slug, breaker in engine._breakers.items()
+            for at, old, new in breaker.transitions
+        )
+        return ChaosResult(
+            scenario=scenario.name,
+            seed=self.seed,
+            ran_until=until,
+            events_injected=self.events_injected,
+            events_observed=int(self.metrics.total("engine.events_observed")),
+            actions_dispatched=engine.actions_dispatched,
+            actions_delivered=engine.actions_delivered,
+            actions_dead_lettered=len(engine.dead_letters),
+            actions_in_retry=engine.actions_in_retry,
+            t2a_by_phase=t2a_by_phase,
+            breaker_transitions=transitions,
+            faults_activated=self.injector.activations,
+            faults_deactivated=self.injector.deactivations,
+            engine_stats=engine.stats(),
+            snapshot=deterministic_snapshot(self.metrics),
+        )
+
+
+def _phase_of(plan: FaultPlan, t: float) -> str:
+    """Which fault phase an injection time falls into."""
+    if not plan.specs:
+        return "before"
+    if any(spec.at <= t < spec.end for spec in plan):
+        return "during"
+    if t >= plan.end_time:
+        return "after"
+    return "before"
+
+
+def run_chaos_scenario(
+    name: str,
+    seed: int = 7,
+    plan: Optional[FaultPlan] = None,
+    poll_interval: float = 5.0,
+    drain: float = DRAIN_SECONDS,
+) -> ChaosResult:
+    """Run one chaos scenario end to end and return its accounting.
+
+    ``plan`` overrides the scenario's built-in fault plan (the event
+    schedule is kept), which is how ``--faults PLAN.json`` plugs in.
+    """
+    scenario = chaos_scenario(name)
+    if plan is not None:
+        scenario = ChaosScenario(
+            name=scenario.name,
+            description=f"{scenario.description} (custom plan)",
+            event_times=scenario.event_times,
+            plan=plan,
+        )
+    world = ChaosWorld(seed=seed, poll_interval=poll_interval)
+    return world.run(scenario, drain=drain)

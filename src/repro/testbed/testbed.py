@@ -9,6 +9,8 @@ from repro.engine.config import EngineConfig
 from repro.engine.engine import IftttEngine
 from repro.engine.local import LocalEngine
 from repro.engine.oauth import OAuthAuthority
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.iot.alexa import AlexaCloud, EchoDevice
 from repro.iot.gateway import GatewayRouter
 from repro.iot.hue import HueHub, HueLamp
@@ -73,6 +75,12 @@ class TestbedConfig:
     metrics_enabled:
         Build a shared :class:`~repro.obs.metrics.MetricsRegistry` and
         attach it to the simulator, network, and engine.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` applied right
+        after the topology is wired (fault times are absolute sim
+        seconds).  A :class:`~repro.faults.injector.FaultInjector` is
+        built either way and exposed as ``testbed.fault_injector``, so
+        experiments can also apply plans mid-run.
     """
 
     __test__ = False  # not a pytest class, despite the name
@@ -86,6 +94,7 @@ class TestbedConfig:
     weather_poll_interval: float = 60.0
     trace_max_records: Optional[int] = None
     metrics_enabled: bool = True
+    fault_plan: Optional[FaultPlan] = None
 
 
 class Testbed:
@@ -110,6 +119,7 @@ class Testbed:
             self.sim, self.rng.fork("network"), metrics=self.metrics
         )
         self.authorities: Dict[str, OAuthAuthority] = {}
+        self.fault_injector: Optional[FaultInjector] = None
         self._built = False
 
     # -- construction -------------------------------------------------------------
@@ -122,6 +132,14 @@ class Testbed:
         self._build_cloud()
         self._build_services()
         self._publish_and_connect()
+        self.fault_injector = FaultInjector(
+            self.sim, self.network,
+            services=self.all_services(),
+            rng=self.rng.fork("faults"),
+            metrics=self.metrics, trace=self.trace,
+        )
+        if self.config.fault_plan is not None:
+            self.fault_injector.apply(self.config.fault_plan)
         # Let subscriptions, pairing chatter, and poll-loop startup settle.
         self.sim.run_until(self.sim.now + 5.0)
         self._built = True

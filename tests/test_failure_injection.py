@@ -96,13 +96,17 @@ class TestServiceOutage:
 
 
 class TestNetworkPartition:
-    def test_poll_timeouts_counted_and_recovered(self, world):
+    def test_partition_fails_fast_and_recovers(self, world):
         sim, net, engine, service, _, executed = world
         net.set_link_state(engine.address, service.address, up=False)
         service.ingest_event("ping", {"n": 7})
         sim.run_until(60.0)
         assert executed == []
-        assert engine.timeouts > 0           # HTTP client timeouts fired
+        # The network reports the missing route synchronously, so polls
+        # fail as immediate connection-refused 503s instead of burning
+        # the full HTTP timeout per attempt.
+        assert engine.connection_refused > 0
+        assert engine.timeouts == 0
         assert engine.poll_failures > 0      # counted as failed polls
         net.set_link_state(engine.address, service.address, up=True)
         sim.run_until(150.0)
@@ -120,6 +124,39 @@ class TestNetworkPartition:
         sim.run_until(60.0)
         assert engine.action_failures > 0
         assert executed == []
+
+
+class TestBreakerThroughOutage:
+    """End-to-end ``set_outage`` coverage: polls keep flowing, the
+    breaker opens, and T2A recovers once the outage lifts."""
+
+    def test_breaker_opens_sheds_and_recovers(self, world):
+        from repro.engine import BreakerState
+
+        sim, _, engine, service, applet, executed = world
+        polls_before = engine.poll_count(applet.applet_id)
+        service.set_outage(True)
+        sim.run_until(62.0)
+        # Polling continued through the outage (attempts, incl. shed ones).
+        assert engine.poll_count(applet.applet_id) > polls_before
+        breaker = engine.breaker_for("svc")
+        assert any(new is BreakerState.OPEN for _, _, new in breaker.transitions)
+        assert engine.polls_shed > 0         # open breaker shed real sends
+        assert service.requests_rejected_during_outage > 0
+
+        heal_at = sim.now
+        service.set_outage(False)
+        service.ingest_event("ping", {"n": 9})
+        # Worst-case recovery: wait out the breaker's recovery timeout,
+        # then one regular polling interval lands the half-open probe.
+        recovery = engine.config.breaker_policy.recovery_timeout
+        interval = 10.0  # the fixture's FixedPollingPolicy period
+        deadline = heal_at + recovery + 2 * interval
+        while not executed and sim.now < deadline:
+            sim.run_until(sim.now + 1.0)
+        assert [f["n"] for f in executed] == ["9"]
+        assert sim.now - heal_at <= recovery + 2 * interval
+        assert breaker.state is BreakerState.CLOSED
 
 
 class TestDeviceOutageViaTestbed:

@@ -106,17 +106,64 @@ class TestHandlerReturnShapes:
 
 class TestTimeoutsAndTiming:
     def test_timeout_produces_599(self):
-        sim = Simulator()
-        net = Network(sim, Rng(3))
-        client = net.add_node(HttpNode(Address("client.test")))
-        server = net.add_node(HttpNode(Address("server.test")))
-        # no link: the request is dropped, so the timeout must fire
+        # A reachable but too-slow server: the response arrives after the
+        # client has given up, so the timeout must fire.
+        sim, client, server = build_pair(service_time=10.0)
+        server.add_route("GET", "/x", lambda req: "ok")
         got = []
         client.get(server.address, "/x", on_response=got.append, timeout=5.0)
         sim.run()
         assert got[0].timed_out
         assert got[0].status == 599
         assert client.timeouts == 1
+
+    def test_unreachable_destination_is_immediate_503(self):
+        sim = Simulator()
+        net = Network(sim, Rng(3))
+        client = net.add_node(HttpNode(Address("client.test")))
+        server = net.add_node(HttpNode(Address("server.test")))
+        # no link: the network reports the missing route synchronously,
+        # so the client gets a connection-refused 503 right away instead
+        # of waiting out the 5 s timeout.
+        got = []
+        client.get(server.address, "/x", on_response=got.append, timeout=5.0)
+        sim.run()
+        assert sim.now < 1.0
+        assert got[0].status == 503
+        assert not got[0].timed_out
+        assert got[0].body["error"] == "connection refused"
+        assert client.connection_refused == 1
+        assert client.timeouts == 0
+
+    def test_refusal_callback_is_asynchronous(self):
+        sim = Simulator()
+        net = Network(sim, Rng(3))
+        client = net.add_node(HttpNode(Address("client.test")))
+        server = net.add_node(HttpNode(Address("server.test")))
+        got = []
+        req = client.get(server.address, "/x", on_response=got.append)
+        # the callback is deferred by one zero-delay event — callers
+        # never observe the response before request() has returned
+        assert got == []
+        sim.run()
+        assert got[0].request_id == req.request_id
+
+    def test_late_response_after_timeout_is_counted_not_redelivered(self):
+        # Server answers at t≈10.1 but the client gave up at t=5: the
+        # straggler must be counted as late, and the callback must not
+        # fire a second time.
+        sim, client, server = build_pair(service_time=10.0)
+        server.add_route("GET", "/x", lambda req: "ok")
+        got = []
+        client.get(server.address, "/x", on_response=got.append, timeout=5.0)
+        sim.run()
+        assert len(got) == 1          # only the synthetic 599
+        assert got[0].status == 599
+        assert client.timeouts == 1
+        assert client.late_responses == 1
+        # the id was forgotten once matched; a hypothetical duplicate
+        # straggler would not double-count
+        assert len(client._timed_out_ids) == 0
 
     def test_response_cancels_timeout(self):
         sim, client, server = build_pair()
