@@ -1,6 +1,6 @@
 # Convenience targets for the IFTTT reproduction.
 
-.PHONY: install test test-fast bench bench-verbose examples figures chaos chaos-check clean
+.PHONY: install test test-fast test-shard bench bench-verbose examples figures chaos chaos-check clean
 
 install:
 	pip install -e .
@@ -15,6 +15,11 @@ test-fast:
 		--ignore=tests/test_fullscale.py \
 		--ignore=tests/test_scenario_soak.py \
 		--ignore=tests/test_examples.py
+
+# The multi-engine sharding suites (unit + property + chaos isolation);
+# see docs/SHARDING.md.
+test-shard:
+	pytest tests/test_sharding.py tests/test_sharding_chaos.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -37,11 +42,15 @@ chaos:
 	done
 
 # Determinism check: the same scenario + seed twice must produce
-# byte-identical metric snapshots (docs/ROBUSTNESS.md).
+# byte-identical metric snapshots, both single-engine and sharded
+# (docs/ROBUSTNESS.md, docs/SHARDING.md).
 chaos-check:
-	@python -m repro chaos --scenario outage --seed 7 --snapshot .chaos-a.jsonl > /dev/null
-	@python -m repro chaos --scenario outage --seed 7 --snapshot .chaos-b.jsonl > /dev/null
-	@cmp .chaos-a.jsonl .chaos-b.jsonl && echo "chaos determinism: OK (snapshots byte-identical)"
+	@for n in 1 4; do \
+		python -m repro chaos --scenario outage --seed 7 --shards $$n --snapshot .chaos-a.jsonl > /dev/null || exit 1; \
+		python -m repro chaos --scenario outage --seed 7 --shards $$n --snapshot .chaos-b.jsonl > /dev/null || exit 1; \
+		cmp .chaos-a.jsonl .chaos-b.jsonl || exit 1; \
+		echo "chaos determinism (--shards $$n): OK (snapshots byte-identical)"; \
+	done
 	@rm -f .chaos-a.jsonl .chaos-b.jsonl
 
 clean:

@@ -10,6 +10,7 @@ Examples::
     python -m repro fleet --applets 150 --push
     python -m repro chaos --scenario outage --snapshot chaos.jsonl
     python -m repro chaos --scenario partition --faults plan.json
+    python -m repro chaos --scenario outage --shards 4 --snapshot fleet.jsonl
 """
 
 from __future__ import annotations
@@ -138,11 +139,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import FaultPlan, FaultPlanError
     from repro.obs.metrics import snapshot_to_json_lines
-    from repro.testbed.chaos import CHAOS_SCENARIOS, run_chaos_scenario
+    from repro.testbed.chaos import (
+        CHAOS_SCENARIOS,
+        run_chaos_scenario,
+        run_sharded_chaos_scenario,
+    )
 
     if args.scenario not in CHAOS_SCENARIOS:
         print(f"unknown chaos scenario {args.scenario!r}; "
               f"choose from {sorted(CHAOS_SCENARIOS)}", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
     plan = None
     if args.faults:
@@ -151,7 +159,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         except (OSError, FaultPlanError) as exc:
             print(f"cannot load fault plan {args.faults}: {exc}", file=sys.stderr)
             return 2
-    result = run_chaos_scenario(args.scenario, seed=args.seed, plan=plan)
+    if args.shards > 1:
+        result = run_sharded_chaos_scenario(
+            args.scenario, seed=args.seed, plan=plan,
+            num_shards=args.shards, shard_strategy=args.shard_strategy,
+        )
+    else:
+        result = run_chaos_scenario(args.scenario, seed=args.seed, plan=plan)
     print(result.summary())
     if result.actions_silently_lost:
         print(f"INVARIANT VIOLATED: {result.actions_silently_lost} action(s) "
@@ -244,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--scenario", default="outage",
                        help="outage, partition, or flappy (default outage)")
     chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="run against a sharded engine fleet of N shards "
+                            "(1 = the single-engine world)")
+    chaos.add_argument("--shard-strategy", default="service_hash",
+                       choices=("service_hash", "round_robin", "popularity_balanced"),
+                       help="applet-to-shard assignment strategy (see docs/SHARDING.md)")
     chaos.add_argument("--faults", metavar="PLAN.json",
                        help="override the scenario's fault plan with a JSON plan file")
     chaos.add_argument("--snapshot", metavar="PATH",

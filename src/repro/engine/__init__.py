@@ -24,10 +24,13 @@ behaviour §4 measures:
 * :mod:`repro.engine.resilience` — retry policies, per-service circuit
   breakers, and the action dead-letter sink that keep the engine honest
   under the fault plans of :mod:`repro.faults`.
+* :mod:`repro.engine.sharding` — the :class:`ShardedEngine` coordinator
+  that partitions applets across N engines with per-shard breakers,
+  metrics scopes, and a mergeable fleet snapshot (``docs/SHARDING.md``).
 """
 
 from repro.engine.applet import Applet, TriggerRef, ActionRef, AppletState, QueryRef
-from repro.engine.config import EngineConfig
+from repro.engine.config import EngineConfig, SHARD_STRATEGIES
 from repro.engine.poller import (
     PollingPolicy,
     ProductionPollingPolicy,
@@ -55,6 +58,12 @@ from repro.engine.resilience import (
     DeadLetter,
     PendingAction,
     RetryPolicy,
+)
+from repro.engine.sharding import (
+    ShardedEngine,
+    merged_fleet_snapshot,
+    shard_snapshot,
+    stable_service_hash,
 )
 from repro.engine.filters import (
     FilterSyntaxError,
@@ -97,4 +106,9 @@ __all__ = [
     "CircuitBreaker",
     "PendingAction",
     "DeadLetter",
+    "SHARD_STRATEGIES",
+    "ShardedEngine",
+    "stable_service_hash",
+    "shard_snapshot",
+    "merged_fleet_snapshot",
 ]

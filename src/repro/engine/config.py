@@ -14,6 +14,10 @@ from repro.engine.resilience import BreakerPolicy, RetryPolicy
 #: our own service to host Alexa, its latency becomes large."
 DEFAULT_REALTIME_ALLOWLIST: FrozenSet[str] = frozenset({"amazon_alexa", "google_assistant"})
 
+#: Applet-to-shard assignment strategies understood by
+#: :class:`~repro.engine.sharding.ShardedEngine` (see ``docs/SHARDING.md``).
+SHARD_STRATEGIES: tuple = ("service_hash", "round_robin", "popularity_balanced")
+
 
 @dataclass
 class EngineConfig:
@@ -66,6 +70,20 @@ class EngineConfig:
         modelling the adaptive slow-down of polling for failing
         services; shed polls still count toward per-applet poll
         attempts.  See ``docs/ROBUSTNESS.md``.
+    num_shards:
+        How many :class:`~repro.engine.engine.IftttEngine` instances a
+        :class:`~repro.engine.sharding.ShardedEngine` built from this
+        config partitions the applet corpus across.  A plain engine
+        ignores the knob; 1 (the default) makes the sharded coordinator
+        behaviourally equivalent to a single engine.
+    shard_strategy:
+        How applets map to shards — one of :data:`SHARD_STRATEGIES`:
+        ``service_hash`` (seed-stable hash of the trigger service, so
+        all polls for a service land on one shard and batching still
+        works), ``round_robin`` (per-applet, ignores service affinity),
+        or ``popularity_balanced`` (first sighting of a trigger service
+        sticks it to the least-loaded shard — tames heavy-tailed applet
+        popularity).  See ``docs/SHARDING.md``.
     """
 
     poll_policy: PollingPolicy = field(default_factory=ProductionPollingPolicy)
@@ -82,12 +100,21 @@ class EngineConfig:
     runtime_loop_window: float = 60.0
     retry_policy: Optional[RetryPolicy] = field(default_factory=RetryPolicy)
     breaker_policy: Optional[BreakerPolicy] = field(default_factory=BreakerPolicy)
+    num_shards: int = 1
+    shard_strategy: str = "service_hash"
 
     def __post_init__(self) -> None:
         if self.batch_limit <= 0:
             raise ValueError(f"batch_limit must be positive, got {self.batch_limit}")
         if self.dedupe_window <= 0:
             raise ValueError(f"dedupe_window must be positive, got {self.dedupe_window}")
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.shard_strategy not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"unknown shard_strategy {self.shard_strategy!r}; "
+                f"expected one of {SHARD_STRATEGIES}"
+            )
 
     def honours_realtime_for(self, service_slug: str) -> bool:
         """Whether a realtime hint from this service triggers an immediate poll."""

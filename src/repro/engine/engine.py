@@ -94,6 +94,8 @@ class IftttEngine(HttpNode):
         trace: Optional[Trace] = None,
         service_time: float = 0.01,
         metrics=None,
+        metrics_namespace: str = "engine",
+        applet_id_start: int = 100000,
     ) -> None:
         super().__init__(address, service_time=service_time)
         self.config = config or EngineConfig()
@@ -102,13 +104,20 @@ class IftttEngine(HttpNode):
         # An explicit registry wins; otherwise Node.metrics falls back to
         # the network's shared registry once attached.
         self.metrics = metrics
+        # Metric names and trace entities are emitted under this
+        # namespace ("engine" standalone; "engine.shard<i>" when owned
+        # by a ShardedEngine, giving each shard its own metrics scope).
+        self.metrics_namespace = metrics_namespace
+        self._ns = metrics_namespace
         self.tokens = TokenCache()
         self.permissions = ServicePermissionModel()
         self._services: Dict[str, ServiceRegistration] = {}
         self._service_objects: Dict[str, PartnerService] = {}
         self._applets: Dict[int, _AppletRuntime] = {}
         self._by_identity: Dict[str, List[int]] = {}
-        self._applet_ids = itertools.count(100000)
+        # Shards carve out disjoint id ranges via applet_id_start, so a
+        # fleet-wide applet id never collides across engines.
+        self._applet_ids = itertools.count(applet_id_start)
         self._key_counter = itertools.count(1)
         self.loop_detector = RuntimeLoopDetector(
             threshold=self.config.runtime_loop_threshold,
@@ -147,7 +156,11 @@ class IftttEngine(HttpNode):
         """
         if service.slug in self._services:
             raise ValueError(f"service {service.slug!r} already published")
-        key = f"key-{service.slug}-{next(self._key_counter):04d}"
+        # Shard engines qualify keys with their namespace so every shard
+        # of a fleet issues a distinct key for the same service — keys
+        # stay attributable and individually revocable.
+        issuer = "" if self._ns == "engine" else f"{self._ns}-"
+        key = f"key-{issuer}{service.slug}-{next(self._key_counter):04d}"
         registration = ServiceRegistration(
             slug=service.slug,
             address=service.address,
@@ -371,13 +384,13 @@ class IftttEngine(HttpNode):
     ) -> None:
         if self.metrics is not None:
             self.metrics.counter(
-                "engine.breaker_transitions",
+                f"{self._ns}.breaker_transitions",
                 service=slug, from_state=old.value, to_state=new.value,
             ).inc()
-            self.metrics.gauge("engine.breaker_state", service=slug).set(new.level)
+            self.metrics.gauge(f"{self._ns}.breaker_state", service=slug).set(new.level)
         if self.trace is not None:
             self.trace.record(
-                at, "engine", "engine_breaker_transition",
+                at, self._ns, "engine_breaker_transition",
                 service=slug, from_state=old.value, to_state=new.value,
             )
 
@@ -408,12 +421,12 @@ class IftttEngine(HttpNode):
             self.polls_shed += 1
             if self.metrics is not None:
                 self.metrics.counter(
-                    "engine.polls_shed", service=applet.trigger.service_slug
+                    f"{self._ns}.polls_shed", service=applet.trigger.service_slug
                 ).inc()
             if self.trace is not None:
                 self.trace.record(
                     self.now,
-                    "engine",
+                    self._ns,
                     "engine_poll_shed",
                     applet_id=applet.applet_id,
                     service=applet.trigger.service_slug,
@@ -434,12 +447,12 @@ class IftttEngine(HttpNode):
         metrics = self.metrics
         if metrics is not None:
             metrics.counter(
-                "engine.polls_sent", service=applet.trigger.service_slug
+                f"{self._ns}.polls_sent", service=applet.trigger.service_slug
             ).inc()
         if self.trace is not None:
             self.trace.record(
                 self.now,
-                "engine",
+                self._ns,
                 "engine_poll_sent",
                 applet_id=applet.applet_id,
                 identity=applet.trigger_identity,
@@ -490,19 +503,19 @@ class IftttEngine(HttpNode):
                 breaker.record_failure(self.now)
             if metrics is not None:
                 metrics.counter(
-                    "engine.poll_failures", status=response.status
+                    f"{self._ns}.poll_failures", status=response.status
                 ).inc()
         if metrics is not None:
-            metrics.histogram("engine.poll_rtt_seconds").observe(response.elapsed)
+            metrics.histogram(f"{self._ns}.poll_rtt_seconds").observe(response.elapsed)
             metrics.histogram(
-                "engine.poll_batch_new", bounds=COUNT_BUCKETS
+                f"{self._ns}.poll_batch_new", bounds=COUNT_BUCKETS
             ).observe(len(new_events))
             if new_events:
-                metrics.counter("engine.events_observed").inc(len(new_events))
+                metrics.counter(f"{self._ns}.events_observed").inc(len(new_events))
         if self.trace is not None:
             self.trace.record(
                 self.now,
-                "engine",
+                self._ns,
                 "engine_poll_response",
                 applet_id=applet.applet_id,
                 status=response.status,
@@ -526,7 +539,7 @@ class IftttEngine(HttpNode):
                 self.poll_retries += 1
                 if metrics is not None:
                     metrics.counter(
-                        "engine.poll_retries", service=applet.trigger.service_slug
+                        f"{self._ns}.poll_retries", service=applet.trigger.service_slug
                     ).inc()
                 self._schedule_next_poll(
                     runtime, retry.backoff(runtime.poll_attempts, self.rng)
@@ -536,7 +549,10 @@ class IftttEngine(HttpNode):
         self._schedule_next_poll(
             runtime,
             runtime.policy.sample_interval(
-                self.rng, metrics, service=applet.trigger.service_slug
+                self.rng,
+                metrics,
+                metric_name=f"{self._ns}.poll_interval_seconds",
+                service=applet.trigger.service_slug,
             ),
         )
 
@@ -613,20 +629,20 @@ class IftttEngine(HttpNode):
             except FilterEvalError:
                 self.filter_errors += 1
                 if self.metrics is not None:
-                    self.metrics.counter("engine.runs_failed", reason="filter_error").inc()
+                    self.metrics.counter(f"{self._ns}.runs_failed", reason="filter_error").inc()
                 if self.trace is not None:
                     self.trace.record(
-                        self.now, "engine", "engine_filter_error",
+                        self.now, self._ns, "engine_filter_error",
                         applet_id=applet.applet_id,
                     )
                 return
             if not verdict:
                 self.filter_skips += 1
                 if self.metrics is not None:
-                    self.metrics.counter("engine.runs_skipped", reason="filter").inc()
+                    self.metrics.counter(f"{self._ns}.runs_skipped", reason="filter").inc()
                 if self.trace is not None:
                     self.trace.record(
-                        self.now, "engine", "engine_filter_skipped",
+                        self.now, self._ns, "engine_filter_skipped",
                         applet_id=applet.applet_id,
                         event_id=wire_event["meta"]["id"],
                     )
@@ -648,7 +664,7 @@ class IftttEngine(HttpNode):
         metrics = self.metrics
         if metrics is not None:
             metrics.counter(
-                "engine.actions_dispatched", service=action.service_slug
+                f"{self._ns}.actions_dispatched", service=action.service_slug
             ).inc()
             # Trigger-to-action latency as the engine sees it: action
             # dispatch time minus the event's ``meta.timestamp`` (when
@@ -657,12 +673,12 @@ class IftttEngine(HttpNode):
             triggered_at = wire_event.get("meta", {}).get("timestamp")
             if triggered_at is not None:
                 metrics.histogram(
-                    "engine.t2a_seconds", service=action.service_slug
+                    f"{self._ns}.t2a_seconds", service=action.service_slug
                 ).observe(max(0.0, self.now - triggered_at))
         if self.trace is not None:
             self.trace.record(
                 self.now,
-                "engine",
+                self._ns,
                 "engine_action_sent",
                 applet_id=applet.applet_id,
                 event_id=wire_event["meta"]["id"],
@@ -673,11 +689,11 @@ class IftttEngine(HttpNode):
             if self.loop_detector.observe(applet.applet_id, self.now):
                 self.disable_applet(applet.applet_id)
                 if metrics is not None:
-                    metrics.counter("engine.loops_killed").inc()
+                    metrics.counter(f"{self._ns}.loops_killed").inc()
                 if self.trace is not None:
                     self.trace.record(
                         self.now,
-                        "engine",
+                        self._ns,
                         "engine_loop_killswitch",
                         applet_id=applet.applet_id,
                     )
@@ -706,12 +722,12 @@ class IftttEngine(HttpNode):
             self.actions_shed += 1
             if self.metrics is not None:
                 self.metrics.counter(
-                    "engine.actions_shed", service=record.service_slug
+                    f"{self._ns}.actions_shed", service=record.service_slug
                 ).inc()
             if self.trace is not None:
                 self.trace.record(
                     self.now,
-                    "engine",
+                    self._ns,
                     "engine_action_shed",
                     applet_id=record.applet_id,
                     service=record.service_slug,
@@ -734,11 +750,11 @@ class IftttEngine(HttpNode):
         breaker = self.breaker_for(record.service_slug)
         metrics = self.metrics
         if metrics is not None:
-            metrics.histogram("engine.action_rtt_seconds").observe(response.elapsed)
+            metrics.histogram(f"{self._ns}.action_rtt_seconds").observe(response.elapsed)
         if self.trace is not None:
             self.trace.record(
                 self.now,
-                "engine",
+                self._ns,
                 "engine_action_ack",
                 applet_id=record.applet_id,
                 status=response.status,
@@ -750,14 +766,14 @@ class IftttEngine(HttpNode):
             self.actions_delivered += 1
             if metrics is not None:
                 metrics.counter(
-                    "engine.actions_delivered", service=record.service_slug
+                    f"{self._ns}.actions_delivered", service=record.service_slug
                 ).inc()
             return
         self.action_failures += 1
         if breaker is not None:
             breaker.record_failure(self.now)
         if metrics is not None:
-            metrics.counter("engine.action_failures", status=response.status).inc()
+            metrics.counter(f"{self._ns}.action_failures", status=response.status).inc()
         self._note_action_failure(record)
 
     def _note_action_failure(self, record: PendingAction) -> None:
@@ -768,13 +784,13 @@ class IftttEngine(HttpNode):
             self.actions_in_retry += 1
             if self.metrics is not None:
                 self.metrics.counter(
-                    "engine.action_retries", service=record.service_slug
+                    f"{self._ns}.action_retries", service=record.service_slug
                 ).inc()
             delay = retry.backoff(record.attempts, self.rng)
             if self.trace is not None:
                 self.trace.record(
                     self.now,
-                    "engine",
+                    self._ns,
                     "engine_action_retry",
                     applet_id=record.applet_id,
                     service=record.service_slug,
@@ -797,12 +813,12 @@ class IftttEngine(HttpNode):
         self.dead_letters.append(letter)
         if self.metrics is not None:
             self.metrics.counter(
-                "engine.dead_letters", service=record.service_slug
+                f"{self._ns}.dead_letters", service=record.service_slug
             ).inc()
         if self.trace is not None:
             self.trace.record(
                 self.now,
-                "engine",
+                self._ns,
                 "engine_action_dead_letter",
                 applet_id=record.applet_id,
                 service=record.service_slug,
@@ -819,7 +835,7 @@ class IftttEngine(HttpNode):
         honoured = self.config.honours_realtime_for(service_slug)
         if self.metrics is not None:
             self.metrics.counter(
-                "engine.realtime_hints", service=service_slug, honoured=honoured
+                f"{self._ns}.realtime_hints", service=service_slug, honoured=honoured
             ).inc()
         identities = [
             entry.get("trigger_identity") for entry in (request.body or {}).get("data", [])
@@ -827,7 +843,7 @@ class IftttEngine(HttpNode):
         if self.trace is not None:
             self.trace.record(
                 self.now,
-                "engine",
+                self._ns,
                 "engine_realtime_hint",
                 service=service_slug,
                 honoured=honoured,

@@ -15,6 +15,7 @@ smartly.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from repro.simcore.rng import Rng
 
@@ -26,19 +27,25 @@ class PollingPolicy(ABC):
     def next_interval(self, rng: Rng) -> float:
         """Seconds until the next poll."""
 
-    def sample_interval(self, rng: Rng, metrics=None, **labels) -> float:
+    def sample_interval(
+        self,
+        rng: Rng,
+        metrics=None,
+        metric_name: str = "engine.poll_interval_seconds",
+        **labels,
+    ) -> float:
         """Draw the next interval, recording it when a registry is given.
 
         The engine calls this instead of :meth:`next_interval` so the
         distribution §4 blames for T2A latency (the polling interval) is
         captured as a first-class histogram
-        (``engine.poll_interval_seconds``) rather than re-derived from
-        trace scans.
+        (``engine.poll_interval_seconds``, or the engine's shard-scoped
+        name) rather than re-derived from trace scans.
         """
         interval = self.next_interval(rng)
         if metrics is not None:
             metrics.histogram(
-                "engine.poll_interval_seconds", policy=type(self).__name__, **labels
+                metric_name, policy=type(self).__name__, **labels
             ).observe(interval)
         return interval
 
@@ -46,8 +53,17 @@ class PollingPolicy(ABC):
         """Feedback hook: how many new events the last poll returned."""
 
     def clone(self) -> "PollingPolicy":
-        """A fresh, state-free copy (each applet gets its own instance)."""
-        return self
+        """A fresh copy — each applet (and each engine shard) gets its own.
+
+        The base implementation shallow-copies the instance.  Returning
+        ``self`` here would silently share mutable policy state (EWMA
+        activity, counters) across every applet of every engine that
+        cloned from the same prototype — exactly the cross-shard leak
+        ``tests/test_sharding.py`` guards against.  Stateless subclasses
+        pay one cheap ``copy.copy``; stateful ones should still override
+        to reset learned state.
+        """
+        return copy.copy(self)
 
 
 class ProductionPollingPolicy(PollingPolicy):

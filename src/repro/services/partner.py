@@ -69,6 +69,11 @@ class PartnerService(HttpNode):
         self.realtime = realtime
         self.buffer_capacity = buffer_capacity
         self.service_key: Optional[str] = None
+        #: Every engine-issued key this service accepts.  A standalone
+        #: engine issues exactly one; a :class:`ShardedEngine` publishes
+        #: the service on every shard, each issuing its own key, and the
+        #: service must authenticate requests from any of them.
+        self.service_keys: Set[str] = set()
         self.engine_address: Optional[Address] = None
         self._triggers: Dict[str, TriggerEndpoint] = {}
         self._actions: Dict[str, ActionEndpoint] = {}
@@ -146,10 +151,13 @@ class PartnerService(HttpNode):
 
         Stores the engine-issued service key (used to authenticate all
         future engine requests) and the engine address (for realtime
-        hints).
+        hints).  Publishing on several engines (one per shard) accretes
+        keys; the *last* publisher becomes the realtime-hint target, so
+        a sharded coordinator publishes the trigger's home shard last.
         """
         self.engine_address = engine_address
         self.service_key = service_key
+        self.service_keys.add(service_key)
 
     def grant_token(self, token: str) -> None:
         """Mark an OAuth2 access token as valid for this service."""
@@ -262,7 +270,7 @@ class PartnerService(HttpNode):
     # -- protocol handlers ------------------------------------------------------------
 
     def _authenticate(self, request: HttpRequest) -> None:
-        if self.service_key is not None and request.header("IFTTT-Service-Key") != self.service_key:
+        if self.service_keys and request.header("IFTTT-Service-Key") not in self.service_keys:
             self.auth_failures += 1
             raise AuthError("bad service key")
         token = request.header("Authorization", "")

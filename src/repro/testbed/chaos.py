@@ -31,11 +31,19 @@ Three scenarios ship built in:
     The sensor flaps (down half of every 24 s) for three minutes under
     steady load — a soak proving dedup and delivery conservation
     through repeated short outages.
+
+:class:`ShardedChaosWorld` scales the same experiments to a
+:class:`~repro.engine.sharding.ShardedEngine` fleet: several
+sensor/sink pairs spread across N shards, with every scenario's fault
+retargeted to exactly one "victim" pair (and, for partitions, its home
+shard's uplink).  A sharded run proves *isolation* — the victim shard's
+breaker opens and recovers while the other shards' T2A matches a
+fault-free run — on top of the fleet-wide conservation invariant.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.applet import ActionRef, TriggerRef
@@ -43,6 +51,7 @@ from repro.engine.config import EngineConfig
 from repro.engine.engine import IftttEngine
 from repro.engine.oauth import OAuthAuthority
 from repro.engine.poller import FixedPollingPolicy
+from repro.engine.sharding import ShardedEngine, merged_fleet_snapshot
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, link_down, service_flap, service_outage
 from repro.iot.gateway import GatewayRouter
@@ -348,4 +357,348 @@ def run_chaos_scenario(
             plan=plan,
         )
     world = ChaosWorld(seed=seed, poll_interval=poll_interval)
+    return world.run(scenario, drain=drain)
+
+
+# -- sharded chaos ----------------------------------------------------------------
+
+#: Sensor/sink pairs a sharded chaos world instantiates by default.  Six
+#: pairs spread (by CRC32) across all shards of every fleet size the
+#: acceptance runs use, so "the other shards" is never an empty set.
+SHARDED_PAIRS = 6
+
+SHARD_HOST_PATTERN = "engine{shard}.ifttt.cloud"
+
+
+def retarget_plan_for_shards(
+    plan: FaultPlan, sensor_slug: str, sink_slug: str, engine_host: str
+) -> FaultPlan:
+    """Rewrite an unsharded fault plan against a sharded world's names.
+
+    The built-in scenarios (and any ``--faults PLAN.json`` written for
+    the single-engine world) speak the unsharded vocabulary —
+    ``chaos_sensor`` / ``chaos_sink`` / ``engine.ifttt.cloud``.  A
+    sharded world has ``chaos_sensor<p>`` pairs and ``engine<i>.*``
+    hosts, so those references are retargeted onto the victim pair's
+    sensor/sink and the victim shard's host; everything else (timing,
+    rates, link endpoints like the core) passes through unchanged.
+    """
+    specs = []
+    for spec in plan:
+        changes: Dict[str, Any] = {}
+        if spec.service == SENSOR_SLUG:
+            changes["service"] = sensor_slug
+        elif spec.service == SINK_SLUG:
+            changes["service"] = sink_slug
+        for attr in ("a", "b"):
+            if getattr(spec, attr) == ENGINE_HOST:
+                changes[attr] = engine_host
+        specs.append(replace(spec, **changes) if changes else spec)
+    return FaultPlan(tuple(specs))
+
+
+@dataclass
+class ShardedChaosResult:
+    """A fleet-wide chaos run: per-shard accounting plus fleet totals."""
+
+    scenario: str
+    seed: int
+    num_shards: int
+    strategy: str
+    victim_shard: int
+    ran_until: float
+    events_injected: int
+    events_observed: int
+    fleet_stats: Dict[str, int]
+    shard_stats: List[Dict[str, int]]
+    #: shard -> fault phase -> T2A samples for deliveries it owned.
+    t2a_by_shard: Dict[int, Dict[str, List[float]]]
+    breaker_transitions_by_shard: Dict[int, List[Tuple[float, str, str, str]]]
+    faults_activated: int
+    faults_deactivated: int
+    assignments: Dict[str, int]
+    shard_loads: List[int]
+    snapshot: Dict[str, Any] = field(repr=False)
+    merged_engine_snapshot: Dict[str, Any] = field(repr=False)
+
+    @property
+    def shard_silently_lost(self) -> List[int]:
+        """Per-shard conservation residual — all zeros or the run failed."""
+        return [
+            stats["actions_dispatched"]
+            - stats["actions_delivered"]
+            - stats["actions_in_retry"]
+            - stats["dead_letters"]
+            for stats in self.shard_stats
+        ]
+
+    @property
+    def actions_silently_lost(self) -> int:
+        """Fleet-wide conservation residual (sum of the per-shard ones)."""
+        return sum(self.shard_silently_lost)
+
+    def t2a_values(self, shards, phase: Optional[str] = None) -> List[float]:
+        """T2A samples for a set of shards (one phase, or all phases)."""
+        values: List[float] = []
+        for shard in shards:
+            by_phase = self.t2a_by_shard.get(shard, {})
+            phases = [phase] if phase is not None else sorted(by_phase)
+            for key in phases:
+                values.extend(by_phase.get(key, []))
+        return values
+
+    @property
+    def healthy_shards(self) -> List[int]:
+        """Every shard except the victim."""
+        return [s for s in range(self.num_shards) if s != self.victim_shard]
+
+    def summary(self) -> str:
+        """A human-readable multi-line fleet report."""
+        stats = self.fleet_stats
+        lines = [
+            f"sharded chaos scenario {self.scenario!r} "
+            f"(seed {self.seed}, shards={self.num_shards}, "
+            f"strategy={self.strategy}, t={self.ran_until:g}s)",
+            f"  victim shard: {self.victim_shard} "
+            f"(loads: {self.shard_loads})",
+            f"  events:  injected={self.events_injected} "
+            f"observed={self.events_observed}",
+            f"  actions: dispatched={stats['actions_dispatched']} "
+            f"delivered={stats['actions_delivered']} "
+            f"dead-lettered={stats['dead_letters']} "
+            f"in-retry={stats['actions_in_retry']} "
+            f"silently-lost={self.actions_silently_lost}",
+            f"  faults:  activated={self.faults_activated} "
+            f"deactivated={self.faults_deactivated}",
+        ]
+        for shard in range(self.num_shards):
+            tag = " (victim)" if shard == self.victim_shard else ""
+            per = self.shard_stats[shard]
+            t2a = self.t2a_values([shard])
+            mean = sum(t2a) / len(t2a) if t2a else 0.0
+            lines.append(
+                f"  shard {shard}{tag}: applets={per['applets']} "
+                f"delivered={per['actions_delivered']} "
+                f"dead-lettered={per['dead_letters']} "
+                f"shed={per['actions_shed']} "
+                f"t2a mean={mean:.2f}s n={len(t2a)}"
+            )
+            for at, service, old, new in self.breaker_transitions_by_shard.get(shard, []):
+                lines.append(
+                    f"    breaker {service}: {old} -> {new} at t={at:.2f}s"
+                )
+        return "\n".join(lines)
+
+
+class ShardedChaosWorld:
+    """The chaos topology scaled out to a sharded engine fleet.
+
+    ``pairs`` independent sensor/sink chains (``chaos_sensor<p>`` →
+    ``chaos_sink<p>``) are installed through a
+    :class:`~repro.engine.sharding.ShardedEngine`, landing on shards per
+    the configured strategy.  Pair 0 is the designated *victim*: every
+    scenario's fault plan is retargeted onto its sensor/sink — and, for
+    engine-side partitions, onto its home shard's uplink — so exactly
+    one shard takes the damage and the rest measure isolation.
+
+    (``__test__`` opts the class out of pytest collection.)
+    """
+
+    __test__ = False
+
+    def __init__(
+        self,
+        seed: int = 7,
+        poll_interval: float = 5.0,
+        num_shards: int = 4,
+        shard_strategy: str = "service_hash",
+        pairs: int = SHARDED_PAIRS,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.seed = seed
+        self.pairs = pairs
+        self.sim = Simulator()
+        self.rng = Rng(seed=seed, name="chaos")
+        self.trace = Trace()
+        self.metrics = MetricsRegistry()
+        self.sim.metrics = self.metrics
+        self.network = Network(self.sim, self.rng.fork("network"), metrics=self.metrics)
+        config = engine_config or EngineConfig(
+            poll_policy=FixedPollingPolicy(poll_interval),
+            initial_poll_delay=0.5,
+            poll_timeout=10.0,
+            action_timeout=10.0,
+        )
+        config = replace(
+            config,
+            poll_policy=config.poll_policy.clone(),
+            num_shards=num_shards,
+            shard_strategy=shard_strategy,
+        )
+        self.fleet = ShardedEngine(
+            self.network,
+            config=config,
+            rng=self.rng.fork("engine"),
+            trace=self.trace,
+            host_pattern=SHARD_HOST_PATTERN,
+            service_time=0.0,
+        )
+        self.core = self.network.add_node(GatewayRouter(Address(CORE_HOST)))
+        for shard in self.fleet.shards:
+            self.network.connect(shard.address, self.core.address, cloud_internal_latency())
+
+        #: ``(delivered_at, pair, fields)`` per sink execution.
+        self.delivered: List[Tuple[float, int, Dict[str, Any]]] = []
+        self.events_injected = 0
+        self.sensors: List[PartnerService] = []
+        self.sinks: List[PartnerService] = []
+        for pair in range(pairs):
+            sensor = self.network.add_node(PartnerService(
+                Address(f"sensor{pair}.cloud"), slug=f"{SENSOR_SLUG}{pair}",
+                trace=self.trace, service_time=0.0,
+            ))
+            sensor.add_trigger(TriggerEndpoint(slug="tick", name="Tick"))
+            sink = self.network.add_node(PartnerService(
+                Address(f"sink{pair}.cloud"), slug=f"{SINK_SLUG}{pair}",
+                trace=self.trace, service_time=0.0,
+            ))
+            sink.add_action(ActionEndpoint(
+                slug="deliver", name="Deliver",
+                executor=lambda fields, p=pair: self.delivered.append(
+                    (self.sim.now, p, dict(fields))
+                ),
+            ))
+            for node in (sensor, sink):
+                self.network.connect(node.address, self.core.address, cloud_internal_latency())
+            self.sensors.append(sensor)
+            self.sinks.append(sink)
+        for service in self.sensors + self.sinks:
+            self.fleet.publish_service(service)
+            authority = OAuthAuthority(service.slug)
+            authority.register_user(CHAOS_USER, "pw")
+            self.fleet.connect_service(CHAOS_USER, service, authority, "pw")
+        self.applets = [
+            self.fleet.install_applet(
+                user=CHAOS_USER, name=f"tick{pair}->deliver{pair}",
+                trigger=TriggerRef(f"{SENSOR_SLUG}{pair}", "tick"),
+                action=ActionRef(f"{SINK_SLUG}{pair}", "deliver",
+                                 {"n": "{{n}}", "injected_at": "{{injected_at}}"}),
+            )
+            for pair in range(pairs)
+        ]
+        #: The shard that owns the victim pair's trigger chain — the only
+        #: shard a retargeted fault is allowed to hurt.
+        self.victim_shard = self.fleet.shard_of(self.applets[0].applet_id)
+        self.injector = FaultInjector(
+            self.sim, self.network,
+            services=tuple(self.sensors + self.sinks),
+            rng=self.rng.fork("faults"),
+            metrics=self.metrics, trace=self.trace,
+        )
+
+    def retarget(self, plan: FaultPlan) -> FaultPlan:
+        """An unsharded plan, aimed at the victim pair and shard."""
+        return retarget_plan_for_shards(
+            plan,
+            sensor_slug=f"{SENSOR_SLUG}0",
+            sink_slug=f"{SINK_SLUG}0",
+            engine_host=SHARD_HOST_PATTERN.format(shard=self.victim_shard),
+        )
+
+    def schedule_events(self, times: Tuple[float, ...]) -> None:
+        """Schedule the same event cadence into every pair's sensor."""
+        for index, at in enumerate(times):
+            self.sim.schedule(
+                max(0.0, at - self.sim.now), self._inject, index, at,
+                label=f"chaos-event#{index}",
+            )
+
+    def _inject(self, index: int, planned_at: float) -> None:
+        for sensor in self.sensors:
+            self.events_injected += 1
+            sensor.ingest_event("tick", {"n": index, "injected_at": planned_at})
+
+    def run(self, scenario: ChaosScenario, drain: float = DRAIN_SECONDS) -> ShardedChaosResult:
+        """Retarget the plan at the victim, drive events, settle, account."""
+        plan = self.retarget(scenario.plan)
+        self.injector.apply(plan)
+        self.schedule_events(scenario.event_times)
+        until = scenario.horizon + drain
+        self.sim.run_until(until)
+        return self._result(scenario, plan, until)
+
+    def _result(
+        self, scenario: ChaosScenario, plan: FaultPlan, until: float
+    ) -> ShardedChaosResult:
+        t2a_by_shard: Dict[int, Dict[str, List[float]]] = {}
+        for delivered_at, pair, fields in self.delivered:
+            injected_at = float(fields["injected_at"])
+            shard = self.fleet.shard_of(self.applets[pair].applet_id)
+            phase = _phase_of(plan, injected_at)
+            t2a_by_shard.setdefault(shard, {}).setdefault(phase, []).append(
+                delivered_at - injected_at
+            )
+        transitions_by_shard: Dict[int, List[Tuple[float, str, str, str]]] = {}
+        for index, shard in enumerate(self.fleet.shards):
+            transitions = sorted(
+                (at, slug, old.value, new.value)
+                for slug, breaker in shard._breakers.items()
+                for at, old, new in breaker.transitions
+            )
+            if transitions:
+                transitions_by_shard[index] = transitions
+        events_observed = sum(
+            int(self.metrics.total(f"{shard.metrics_namespace}.events_observed"))
+            for shard in self.fleet.shards
+        )
+        return ShardedChaosResult(
+            scenario=scenario.name,
+            seed=self.seed,
+            num_shards=self.fleet.num_shards,
+            strategy=self.fleet.strategy,
+            victim_shard=self.victim_shard,
+            ran_until=until,
+            events_injected=self.events_injected,
+            events_observed=events_observed,
+            fleet_stats=self.fleet.stats(),
+            shard_stats=self.fleet.shard_stats(),
+            t2a_by_shard=t2a_by_shard,
+            breaker_transitions_by_shard=transitions_by_shard,
+            faults_activated=self.injector.activations,
+            faults_deactivated=self.injector.deactivations,
+            assignments=self.fleet.assignments(),
+            shard_loads=self.fleet.shard_loads(),
+            snapshot=deterministic_snapshot(self.metrics),
+            merged_engine_snapshot=merged_fleet_snapshot(self.metrics.snapshot()),
+        )
+
+
+def run_sharded_chaos_scenario(
+    name: str,
+    seed: int = 7,
+    num_shards: int = 4,
+    shard_strategy: str = "service_hash",
+    plan: Optional[FaultPlan] = None,
+    poll_interval: float = 5.0,
+    pairs: int = SHARDED_PAIRS,
+    drain: float = DRAIN_SECONDS,
+) -> ShardedChaosResult:
+    """Run one chaos scenario against a sharded fleet.
+
+    ``plan`` (still in the unsharded vocabulary — it is retargeted at
+    the victim pair automatically) overrides the scenario's built-in
+    fault plan, mirroring :func:`run_chaos_scenario`.
+    """
+    scenario = chaos_scenario(name)
+    if plan is not None:
+        scenario = ChaosScenario(
+            name=scenario.name,
+            description=f"{scenario.description} (custom plan)",
+            event_times=scenario.event_times,
+            plan=plan,
+        )
+    world = ShardedChaosWorld(
+        seed=seed, poll_interval=poll_interval,
+        num_shards=num_shards, shard_strategy=shard_strategy, pairs=pairs,
+    )
     return world.run(scenario, drain=drain)

@@ -67,3 +67,45 @@ def testbed() -> Testbed:
 @pytest.fixture
 def controller(testbed) -> TestController:
     return TestController(testbed)
+
+
+# -- chaos runs (shared: each is deterministic in its seed but takes a
+# -- nontrivial slice of wall-clock, so suites share one run) ----------------
+
+
+@pytest.fixture(scope="session")
+def outage_result():
+    """One shared run of the flagship 60 s-outage-during-burst scenario."""
+    from repro.testbed.chaos import run_chaos_scenario
+
+    return run_chaos_scenario("outage", seed=7)
+
+
+@pytest.fixture(scope="session")
+def nofault_result():
+    """A fault-free single-engine run of the outage cadence — the
+    unsharded latency baseline the acceptance criteria reference."""
+    from repro.faults import FaultPlan
+    from repro.testbed.chaos import run_chaos_scenario
+
+    return run_chaos_scenario("outage", seed=7, plan=FaultPlan(()))
+
+
+@pytest.fixture(scope="session")
+def sharded_outage_result():
+    """The same outage scenario against a 4-shard fleet (same seed)."""
+    from repro.testbed.chaos import run_sharded_chaos_scenario
+
+    return run_sharded_chaos_scenario("outage", seed=7, num_shards=4)
+
+
+@pytest.fixture(scope="session")
+def sharded_nofault_result():
+    """A fault-free 4-shard run of the outage cadence — the isolation
+    baseline sharded chaos tests compare healthy shards against."""
+    from repro.faults import FaultPlan
+    from repro.testbed.chaos import run_sharded_chaos_scenario
+
+    return run_sharded_chaos_scenario(
+        "outage", seed=7, num_shards=4, plan=FaultPlan(())
+    )

@@ -65,6 +65,50 @@ class TestCommands:
         assert path.exists()
 
 
+class TestChaosCommand:
+    def test_chaos_sharded_run(self, capsys):
+        assert main(["chaos", "--scenario", "outage", "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded chaos scenario 'outage'" in out
+        assert "shards=4" in out
+        assert "(victim)" in out
+        assert "silently-lost=0" in out
+
+    def test_chaos_sharded_snapshot_deterministic(self, capsys, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path in (a, b):
+            assert main(["chaos", "--scenario", "outage", "--seed", "7",
+                         "--shards", "4", "--snapshot", str(path)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_chaos_shards_one_is_single_engine_world(self, capsys):
+        assert main(["chaos", "--scenario", "outage", "--shards", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded" not in out
+        assert "silently-lost=0" in out
+
+    def test_chaos_invalid_shards_rejected(self, capsys):
+        assert main(["chaos", "--scenario", "outage", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_chaos_invalid_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--shard-strategy", "modulo"])
+
+    def test_chaos_sharded_with_custom_plan(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            '{"faults": [{"kind": "service_outage", "service": "chaos_sink",'
+            ' "at": 20.0, "duration": 10.0}]}'
+        )
+        assert main(["chaos", "--scenario", "outage", "--shards", "4",
+                     "--faults", str(plan_path)]) == 0
+        out = capsys.readouterr().out
+        assert "activated=1" in out
+        assert "silently-lost=0" in out
+
+
 class TestNewCommands:
     def test_decompose(self, capsys):
         assert main(["decompose", "--runs", "5"]) == 0

@@ -2,54 +2,29 @@
 
 import pytest
 
-from repro.engine import (
-    ActionRef,
-    EngineConfig,
-    FixedPollingPolicy,
-    IftttEngine,
-    TriggerRef,
-)
+from repro.engine import ActionRef, EngineConfig, FixedPollingPolicy, TriggerRef
 from repro.engine.oauth import OAuthAuthority
-from repro.net import Address, FixedLatency, Network
-from repro.services import ActionEndpoint, PartnerService, TriggerEndpoint
-from repro.simcore import Rng, Simulator, Trace
+from repro.net import Address
+from repro.services import PartnerService
+
+from tests.helpers import build_engine_world, install_ping_applet
 
 
 def build_world(config=None, realtime_service=False):
-    """One engine + one service with a trigger and a recording action."""
-    sim = Simulator()
-    net = Network(sim, Rng(55))
-    trace = Trace()
-    engine = net.add_node(
-        IftttEngine(Address("engine.cloud"), config=config or EngineConfig(
-            poll_policy=FixedPollingPolicy(10.0), initial_poll_delay=0.5,
-        ), rng=Rng(7), trace=trace, service_time=0.0)
-    )
-    service = net.add_node(
-        PartnerService(Address("svc.cloud"), slug="svc", trace=trace,
-                       realtime=realtime_service, service_time=0.0)
-    )
-    net.connect(engine.address, service.address, FixedLatency(0.01))
-    executed = []
-    service.add_trigger(TriggerEndpoint(slug="ping", name="Ping"))
-    service.add_action(
-        ActionEndpoint(slug="record", name="Record",
-                       executor=lambda fields: executed.append((sim.now, dict(fields))))
-    )
-    engine.publish_service(service)
-    authority = OAuthAuthority("svc")
-    authority.register_user("alice", "pw")
-    engine.connect_service("alice", service, authority, "pw")
-    return sim, engine, service, executed, trace
+    """One engine + one service with a trigger and a recording action.
 
-
-def install_ping_applet(engine, fields=None):
-    return engine.install_applet(
-        user="alice",
-        name="ping -> record",
-        trigger=TriggerRef("svc", "ping"),
-        action=ActionRef("svc", "record", fields or {"note": "{{n}}"}),
+    Thin wrapper over :func:`tests.helpers.build_engine_world`, pinning
+    this suite's historical seeds (network 55, engine 7) and its
+    timestamped delivery log.
+    """
+    world = build_engine_world(
+        config=config,
+        net_seed=55,
+        engine_seed=7,
+        realtime_service=realtime_service,
+        record_times=True,
     )
+    return world.sim, world.engine, world.service, world.executed, world.trace
 
 
 class TestPublication:

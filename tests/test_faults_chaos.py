@@ -12,11 +12,8 @@ from repro.testbed.chaos import (
     run_chaos_scenario,
 )
 
-
-@pytest.fixture(scope="module")
-def outage_result():
-    """One shared run of the flagship 60 s-outage-during-burst scenario."""
-    return run_chaos_scenario("outage", seed=7)
+# The shared `outage_result` run lives in tests/conftest.py so the
+# sharded chaos suite can reuse it as its unsharded reference.
 
 
 class TestOutageScenario:

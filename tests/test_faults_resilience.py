@@ -3,21 +3,16 @@
 import pytest
 
 from repro.engine import (
-    ActionRef,
     BreakerPolicy,
     BreakerState,
     CircuitBreaker,
-    EngineConfig,
     FixedPollingPolicy,
-    IftttEngine,
     RetryPolicy,
-    TriggerRef,
 )
-from repro.engine.oauth import OAuthAuthority
-from repro.net import Address, FixedLatency, Network
 from repro.net.http import HttpError
-from repro.services import ActionEndpoint, PartnerService, TriggerEndpoint
-from repro.simcore import Rng, Simulator
+from repro.simcore import Rng
+
+from tests.helpers import build_engine_world, default_engine_config, install_ping_applet
 
 
 class TestRetryPolicy:
@@ -130,37 +125,26 @@ class TestCircuitBreaker:
 
 def build_world(retry_policy=RetryPolicy(), breaker_policy=BreakerPolicy(),
                 seed=11):
-    sim = Simulator()
-    net = Network(sim, Rng(seed))
-    engine = net.add_node(IftttEngine(
-        Address("engine.cloud"),
-        config=EngineConfig(
-            poll_policy=FixedPollingPolicy(10.0), initial_poll_delay=0.5,
+    """Thin wrapper over :func:`tests.helpers.build_engine_world`.
+
+    Pins this suite's historical seeds (network ``seed``, engine
+    ``seed + 1``) and tight 5 s timeouts — the exact retry/shed counts
+    asserted below depend on both.
+    """
+    world = build_engine_world(
+        config=default_engine_config(
             poll_timeout=5.0, action_timeout=5.0,
             retry_policy=retry_policy, breaker_policy=breaker_policy,
         ),
-        rng=Rng(seed + 1), service_time=0.0,
-    ))
-    service = net.add_node(PartnerService(Address("svc.cloud"), slug="svc",
-                                          service_time=0.0))
-    net.connect(engine.address, service.address, FixedLatency(0.01))
-    executed = []
-    service.add_trigger(TriggerEndpoint(slug="ping", name="Ping"))
-    service.add_action(ActionEndpoint(slug="record", name="Record",
-                                      executor=lambda f: executed.append(dict(f))))
-    engine.publish_service(service)
-    authority = OAuthAuthority("svc")
-    authority.register_user("alice", "pw")
-    engine.connect_service("alice", service, authority, "pw")
-    engine.install_applet(
-        user="alice", name="ping->record",
-        trigger=TriggerRef("svc", "ping"),
-        action=ActionRef("svc", "record", {"n": "{{n}}"}),
+        net_seed=seed,
+        engine_seed=seed + 1,
+        with_trace=False,
     )
+    install_ping_applet(world.engine, {"n": "{{n}}"}, name="ping->record")
     # Let the registration poll run so the trigger identity exists —
     # events ingested before registration are invisible, per protocol.
-    sim.run_until(2.0)
-    return sim, net, engine, service, executed
+    world.sim.run_until(2.0)
+    return world.sim, world.net, world.engine, world.service, world.executed
 
 
 class TestPollRetries:
