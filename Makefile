@@ -1,11 +1,11 @@
 # Convenience targets for the IFTTT reproduction.
 
-.PHONY: install test test-fast test-shard bench bench-verbose examples figures chaos chaos-check clean
+.PHONY: install test test-fast test-shard bench bench-verbose examples figures chaos chaos-check replay-check clean
 
 install:
 	pip install -e .
 
-test:
+test: replay-check
 	pytest tests/
 
 # Tier-1 + obs tests minus the multi-second soak/full-scale/example runs;
@@ -53,6 +53,16 @@ chaos-check:
 	done
 	@rm -f .chaos-a.jsonl .chaos-b.jsonl
 
+# Replay determinism check: dead-letter replay with batched dispatch
+# must be bit-reproducible — same scenario + seed twice, byte-identical
+# snapshots (docs/ROBUSTNESS.md, "Replay & batching").
+replay-check:
+	@python -m repro chaos --scenario outage --seed 7 --replay --snapshot .replay-a.jsonl > /dev/null || exit 1
+	@python -m repro chaos --scenario outage --seed 7 --replay --snapshot .replay-b.jsonl > /dev/null || exit 1
+	@cmp .replay-a.jsonl .replay-b.jsonl || exit 1
+	@echo "replay determinism: OK (snapshots byte-identical)"
+	@rm -f .replay-a.jsonl .replay-b.jsonl
+
 clean:
-	rm -rf figures/ .pytest_cache/ src/repro.egg-info/ .chaos-a.jsonl .chaos-b.jsonl
+	rm -rf figures/ .pytest_cache/ src/repro.egg-info/ .chaos-a.jsonl .chaos-b.jsonl .replay-a.jsonl .replay-b.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

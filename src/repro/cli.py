@@ -11,6 +11,7 @@ Examples::
     python -m repro chaos --scenario outage --snapshot chaos.jsonl
     python -m repro chaos --scenario partition --faults plan.json
     python -m repro chaos --scenario outage --shards 4 --snapshot fleet.jsonl
+    python -m repro chaos --scenario outage --replay --snapshot replay.jsonl
 """
 
 from __future__ import annotations
@@ -152,6 +153,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
+    if args.replay_batch_limit < 1:
+        print(f"--replay-batch-limit must be >= 1, got {args.replay_batch_limit}",
+              file=sys.stderr)
+        return 2
     plan = None
     if args.faults:
         try:
@@ -159,18 +164,40 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         except (OSError, FaultPlanError) as exc:
             print(f"cannot load fault plan {args.faults}: {exc}", file=sys.stderr)
             return 2
-    if args.shards > 1:
-        result = run_sharded_chaos_scenario(
-            args.scenario, seed=args.seed, plan=plan,
-            num_shards=args.shards, shard_strategy=args.shard_strategy,
-        )
-    else:
-        result = run_chaos_scenario(args.scenario, seed=args.seed, plan=plan)
+    replay_policies = [None]
+    if args.replay:
+        from repro.engine.resilience import ReplayPolicy
+
+        # Batched first (its result is the one reported/snapshotted),
+        # then the single-shot baseline for the comparison table.
+        replay_policies = [
+            ReplayPolicy(batch_limit=args.replay_batch_limit, batching=True),
+            ReplayPolicy(batch_limit=args.replay_batch_limit, batching=False),
+        ]
+    results = []
+    for policy in replay_policies:
+        if args.shards > 1:
+            results.append(run_sharded_chaos_scenario(
+                args.scenario, seed=args.seed, plan=plan,
+                num_shards=args.shards, shard_strategy=args.shard_strategy,
+                replay=policy,
+            ))
+        else:
+            results.append(run_chaos_scenario(
+                args.scenario, seed=args.seed, plan=plan, replay=policy,
+            ))
+    result = results[0]
     print(result.summary())
-    if result.actions_silently_lost:
-        print(f"INVARIANT VIOLATED: {result.actions_silently_lost} action(s) "
-              "silently lost", file=sys.stderr)
-        return 1
+    if args.replay:
+        from repro.reporting import render_replay_comparison
+
+        print()
+        print(render_replay_comparison(results[0].replay, results[1].replay))
+    for run in results:
+        if run.actions_silently_lost:
+            print(f"INVARIANT VIOLATED: {run.actions_silently_lost} action(s) "
+                  "silently lost", file=sys.stderr)
+            return 1
     if args.snapshot:
         with open(args.snapshot, "w", encoding="utf-8") as handle:
             handle.write(snapshot_to_json_lines(result.snapshot) + "\n")
@@ -264,6 +291,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--shard-strategy", default="service_hash",
                        choices=("service_hash", "round_robin", "popularity_balanced"),
                        help="applet-to-shard assignment strategy (see docs/SHARDING.md)")
+    chaos.add_argument("--replay", action="store_true",
+                       help="enable dead-letter replay on heal and report the "
+                            "catch-up burst, batched vs unbatched")
+    chaos.add_argument("--replay-batch-limit", type=int, default=50, metavar="K",
+                       help="actions coalesced per batched replay request "
+                            "(default 50, the paper's polling limit)")
     chaos.add_argument("--faults", metavar="PLAN.json",
                        help="override the scenario's fault plan with a JSON plan file")
     chaos.add_argument("--snapshot", metavar="PATH",

@@ -24,6 +24,10 @@ behaviour §4 measures:
 * :mod:`repro.engine.resilience` — retry policies, per-service circuit
   breakers, and the action dead-letter sink that keep the engine honest
   under the fault plans of :mod:`repro.faults`.
+* :mod:`repro.engine.replay` — the :class:`ReplayController` that drains
+  a healed service's dead letters back through delivery, coalescing
+  same-service actions into batched requests (``docs/ROBUSTNESS.md``,
+  "Replay & batching").
 * :mod:`repro.engine.sharding` — the :class:`ShardedEngine` coordinator
   that partitions applets across N engines with per-shard breakers,
   metrics scopes, and a mergeable fleet snapshot (``docs/SHARDING.md``).
@@ -51,12 +55,14 @@ from repro.engine.loops import (
     LoopFinding,
 )
 from repro.engine.local import LocalEngine, HybridScheduler
+from repro.engine.replay import ReplayController
 from repro.engine.resilience import (
     BreakerPolicy,
     BreakerState,
     CircuitBreaker,
     DeadLetter,
     PendingAction,
+    ReplayPolicy,
     RetryPolicy,
 )
 from repro.engine.sharding import (
@@ -106,6 +112,8 @@ __all__ = [
     "CircuitBreaker",
     "PendingAction",
     "DeadLetter",
+    "ReplayPolicy",
+    "ReplayController",
     "SHARD_STRATEGIES",
     "ShardedEngine",
     "stable_service_hash",

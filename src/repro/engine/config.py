@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, Optional
 
 from repro.engine.poller import PollingPolicy, ProductionPollingPolicy
-from repro.engine.resilience import BreakerPolicy, RetryPolicy
+from repro.engine.resilience import BreakerPolicy, ReplayPolicy, RetryPolicy
 
 #: Services whose realtime hints production IFTTT is observed to honour.
 #: §4: "it is likely that IFTTT ... processes the real-time API hints for
@@ -70,6 +70,17 @@ class EngineConfig:
         modelling the adaptive slow-down of polling for failing
         services; shed polls still count toward per-applet poll
         attempts.  See ``docs/ROBUSTNESS.md``.
+    replay_policy:
+        Dead-letter replay tunables (``None``, the default, disables
+        replay: dead letters stay sealed forever — the pre-replay
+        behaviour).  When set, a service's dead letters are drained back
+        into pending actions on heal (breaker close) or via
+        :meth:`~repro.engine.engine.IftttEngine.replay_dead_letters`,
+        re-dispatched in batches of
+        :attr:`~repro.engine.resilience.ReplayPolicy.batch_limit`, and
+        the conservation invariant extends to ``dispatched == delivered
+        + in_retry + dead_lettered + in_replay``.  See
+        ``docs/ROBUSTNESS.md`` ("Replay & batching").
     num_shards:
         How many :class:`~repro.engine.engine.IftttEngine` instances a
         :class:`~repro.engine.sharding.ShardedEngine` built from this
@@ -100,6 +111,7 @@ class EngineConfig:
     runtime_loop_window: float = 60.0
     retry_policy: Optional[RetryPolicy] = field(default_factory=RetryPolicy)
     breaker_policy: Optional[BreakerPolicy] = field(default_factory=BreakerPolicy)
+    replay_policy: Optional[ReplayPolicy] = None
     num_shards: int = 1
     shard_strategy: str = "service_hash"
 

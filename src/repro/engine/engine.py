@@ -28,12 +28,14 @@ from repro.engine.loops import RuntimeLoopDetector, StaticLoopAnalyzer, LoopErro
 from repro.engine.oauth import OAuthAuthority, TokenCache
 from repro.engine.permissions import ServicePermissionModel
 from repro.engine.poller import PollingPolicy
+from repro.engine.replay import ReplayController
 from repro.engine.resilience import (
     BreakerState,
     CircuitBreaker,
     DeadLetter,
     PendingAction,
 )
+from repro.simcore.event import Event
 from repro.net.address import Address
 from repro.net.http import HttpNode, HttpRequest, HttpResponse
 from repro.obs.metrics import COUNT_BUCKETS
@@ -143,6 +145,29 @@ class IftttEngine(HttpNode):
         self.actions_delivered = 0
         self.actions_in_retry = 0
         self.dead_letters: List[DeadLetter] = []
+        # Outstanding action-retry timers, keyed by a monotonic sequence
+        # number (insertion-ordered, so cancellation on applet removal is
+        # deterministic).  Without this ledger a retry scheduled for a
+        # since-removed applet would still fire and deliver on its
+        # behalf.
+        self._retry_timers: Dict[int, Tuple[PendingAction, Event]] = {}
+        self._retry_seq = itertools.count()
+        # Realtime-hint fallback: hints for a service whose breaker is
+        # open are parked (ordered per service) instead of scheduling
+        # fast polls that are guaranteed to be shed; they resume when the
+        # half-open probe succeeds and the breaker closes.
+        self.realtime_hints_suppressed = 0
+        self.realtime_hints_resumed = 0
+        self._suppressed_hints: Dict[str, Dict[str, None]] = {}
+        # Dead-letter replay (None unless EngineConfig.replay_policy is
+        # set): in_replay is the fourth state of the conservation
+        # invariant — dispatched == delivered + in_retry + dead + in_replay.
+        self.actions_in_replay = 0
+        self.replay: Optional[ReplayController] = (
+            ReplayController(self, self.config.replay_policy)
+            if self.config.replay_policy is not None
+            else None
+        )
         self.add_route("POST", REALTIME_NOTIFY_PATH, self._handle_realtime_hint)
 
     # -- service publication ------------------------------------------------------
@@ -306,6 +331,12 @@ class IftttEngine(HttpNode):
         The trigger service keeps its identity buffer (services don't
         learn about uninstalls synchronously in the real platform); the
         engine simply stops asking.
+
+        Outstanding action-*retry* timers are cancelled too — a retry
+        firing after removal would deliver on behalf of an uninstalled
+        applet and corrupt ``actions_in_retry``.  The parked records are
+        dead-lettered with reason ``applet_removed`` (not dropped), so
+        the conservation invariant survives the removal.
         """
         runtime = self._applets.pop(applet_id, None)
         if runtime is None:
@@ -314,6 +345,15 @@ class IftttEngine(HttpNode):
         if runtime.pending_poll_event is not None:
             runtime.pending_poll_event.cancel()
             runtime.pending_poll_event = None
+        for seq in [
+            seq
+            for seq, (record, _) in self._retry_timers.items()
+            if record.applet_id == applet_id
+        ]:
+            record, event = self._retry_timers.pop(seq)
+            event.cancel()
+            self.actions_in_retry -= 1
+            self._dead_letter(record, "applet_removed")
         identity = runtime.applet.trigger_identity
         owners = self._by_identity.get(identity, [])
         if applet_id in owners:
@@ -342,13 +382,27 @@ class IftttEngine(HttpNode):
             "filter_errors": self.filter_errors,
             "realtime_hints_received": self.realtime_hints_received,
             "realtime_hints_honoured": self.realtime_hints_honoured,
+            "realtime_hints_suppressed": self.realtime_hints_suppressed,
+            "realtime_hints_resumed": self.realtime_hints_resumed,
             "polls_shed": self.polls_shed,
             "poll_retries": self.poll_retries,
             "actions_shed": self.actions_shed,
             "action_retries": self.action_retries,
             "actions_delivered": self.actions_delivered,
             "actions_in_retry": self.actions_in_retry,
+            "actions_in_replay": self.actions_in_replay,
             "dead_letters": len(self.dead_letters),
+            **(
+                self.replay.stats()
+                if self.replay is not None
+                else {
+                    "replay_drains": 0,
+                    "dead_letters_replayed": 0,
+                    "replay_requests_sent": 0,
+                    "replay_actions_delivered": 0,
+                    "replay_actions_failed": 0,
+                }
+            ),
         }
 
     # -- resilience: per-service circuit breakers --------------------------------------
@@ -393,6 +447,35 @@ class IftttEngine(HttpNode):
                 at, self._ns, "engine_breaker_transition",
                 service=slug, from_state=old.value, to_state=new.value,
             )
+        if new is BreakerState.CLOSED:
+            # The service healed (half-open probe succeeded): resume any
+            # suppressed realtime hints and, when replay is configured,
+            # drain its dead letters back through delivery.
+            self._resume_suppressed_hints(slug)
+            if self.replay is not None:
+                self.replay.on_service_healed(slug)
+
+    # -- dead-letter replay -------------------------------------------------------------
+
+    def replay_dead_letters(self, service_slug: Optional[str] = None) -> None:
+        """Explicitly replay dead letters (all services, or just one).
+
+        Requires :attr:`EngineConfig.replay_policy`; services are drained
+        in first-dead-letter order so replay bursts are deterministic.
+        """
+        if self.replay is None:
+            raise RuntimeError(
+                "dead-letter replay is disabled; set EngineConfig.replay_policy"
+            )
+        if service_slug is not None:
+            slugs = [service_slug]
+        else:
+            ordered: Dict[str, None] = {}
+            for letter in self.dead_letters:
+                ordered.setdefault(letter.service_slug, None)
+            slugs = list(ordered)
+        for slug in slugs:
+            self.replay.replay_service(slug)
 
     # -- the poll loop ----------------------------------------------------------------
 
@@ -797,14 +880,17 @@ class IftttEngine(HttpNode):
                     attempt=record.attempts,
                     delay=round(delay, 6),
                 )
-            self.sim.schedule(
-                delay, self._retry_action, record, label=f"action-retry#{record.applet_id}"
+            seq = next(self._retry_seq)
+            event = self.sim.schedule(
+                delay, self._retry_action, seq, label=f"action-retry#{record.applet_id}"
             )
+            self._retry_timers[seq] = (record, event)
             return
         reason = "max_attempts_exhausted" if retry is not None else "retries_disabled"
         self._dead_letter(record, reason)
 
-    def _retry_action(self, record: PendingAction) -> None:
+    def _retry_action(self, seq: int) -> None:
+        record, _ = self._retry_timers.pop(seq)
         self.actions_in_retry -= 1
         self._send_action(record)
 
@@ -850,13 +936,64 @@ class IftttEngine(HttpNode):
                 identities=len(identities),
             )
         if honoured:
+            breaker = self._breakers.get(service_slug)
+            if breaker is not None and breaker.state is BreakerState.OPEN:
+                # Fallback: a fast poll against an open breaker is
+                # guaranteed to be shed, so park the hint instead.  The
+                # check runs on whichever engine *received* the hint —
+                # the service's home shard when one exists, or (under
+                # round_robin, where no shard owns a service) whichever
+                # shard the hint landed on — so the suppression state
+                # always lives on the breaker that would do the shedding.
+                self.realtime_hints_suppressed += 1
+                parked = self._suppressed_hints.setdefault(service_slug, {})
+                for identity in identities:
+                    parked[identity] = None
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        f"{self._ns}.realtime_hints_suppressed", service=service_slug
+                    ).inc()
+                if self.trace is not None:
+                    self.trace.record(
+                        self.now,
+                        self._ns,
+                        "engine_realtime_hint_suppressed",
+                        service=service_slug,
+                        identities=len(identities),
+                    )
+                return {"status": "received"}
             self.realtime_hints_honoured += 1
             for identity in identities:
-                for applet_id in self._by_identity.get(identity, ()):
-                    runtime = self._applets[applet_id]
-                    if runtime.applet.enabled and not runtime.poll_in_flight:
-                        self._schedule_next_poll(runtime, 0.0)
+                self._fast_poll_identity(identity)
         return {"status": "received"}
+
+    def _fast_poll_identity(self, identity: str) -> None:
+        for applet_id in self._by_identity.get(identity, ()):
+            runtime = self._applets[applet_id]
+            if runtime.applet.enabled and not runtime.poll_in_flight:
+                self._schedule_next_poll(runtime, 0.0)
+
+    def _resume_suppressed_hints(self, service_slug: str) -> None:
+        """Half-open probe succeeded: fire the fast polls parked while the
+        service's breaker was open (each distinct identity once)."""
+        parked = self._suppressed_hints.pop(service_slug, None)
+        if not parked:
+            return
+        self.realtime_hints_resumed += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"{self._ns}.realtime_hints_resumed", service=service_slug
+            ).inc()
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                self._ns,
+                "engine_realtime_hint_resumed",
+                service=service_slug,
+                identities=len(parked),
+            )
+        for identity in parked:
+            self._fast_poll_identity(identity)
 
     def __repr__(self) -> str:
         return f"<IftttEngine services={len(self._services)} applets={len(self._applets)}>"

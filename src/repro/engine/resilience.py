@@ -13,7 +13,12 @@ explicit:
   failing services;
 * :class:`PendingAction` / :class:`DeadLetter` — the engine's action
   retry queue bookkeeping: every dispatched action is either delivered
-  or ends in the dead-letter sink; none is silently lost.
+  or ends in the dead-letter sink; none is silently lost;
+* :class:`ReplayPolicy` — tunables for the dead-letter replay pass that
+  re-dispatches a healed service's dead letters in batched catch-up
+  requests (:mod:`repro.engine.replay`), extending the conservation
+  invariant to ``dispatched == delivered + in_retry + dead_lettered +
+  in_replay``.
 
 See ``docs/ROBUSTNESS.md`` for the full semantics.
 """
@@ -117,6 +122,16 @@ class CircuitBreaker:
 
     The breaker is time-driven but clockless: callers pass ``now`` (the
     simulation clock), keeping the class trivially testable.
+
+    Timing invariants (regression-tested through the full
+    OPEN → HALF_OPEN → OPEN → HALF_OPEN cycle):
+
+    * every transition *into* OPEN — first trip or re-open from
+      HALF_OPEN — goes through :meth:`_trip`, which refreshes
+      ``_opened_at``, so each recovery window is measured from the most
+      recent (re-)open, never the original trip;
+    * ``_opened_at`` is cleared on close, so a breaker that somehow
+      reads it outside OPEN sees ``None`` instead of a stale timestamp.
     """
 
     def __init__(
@@ -167,24 +182,31 @@ class CircuitBreaker:
             return False
         return True
 
+    def _trip(self, now: float) -> None:
+        """The single entry into OPEN: always restart the recovery clock."""
+        self._opened_at = now
+        self._consecutive_failures = 0
+        self._probes_allowed = 0
+        self._transition(BreakerState.OPEN, now)
+
     def record_success(self, now: float) -> None:
         """A request completed successfully."""
         self._consecutive_failures = 0
         if self._state is not BreakerState.CLOSED:
+            self._opened_at = None
             self._transition(BreakerState.CLOSED, now)
 
     def record_failure(self, now: float) -> None:
         """A request failed (error status, timeout, or refusal)."""
         if self._state is BreakerState.HALF_OPEN:
-            self._opened_at = now
-            self._consecutive_failures = 0
-            self._transition(BreakerState.OPEN, now)
+            # Re-open: the next recovery window starts *now*, not at the
+            # original trip — otherwise the second HALF_OPEN would arrive
+            # early (or instantly) after a failed probe.
+            self._trip(now)
         elif self._state is BreakerState.CLOSED:
             self._consecutive_failures += 1
             if self._consecutive_failures >= self.policy.failure_threshold:
-                self._opened_at = now
-                self._consecutive_failures = 0
-                self._transition(BreakerState.OPEN, now)
+                self._trip(now)
         # While OPEN: stale failures from in-flight requests are ignored.
 
     def __repr__(self) -> str:
@@ -220,6 +242,9 @@ class DeadLetter:
     attempts: int
     last_status: Optional[int]
     reason: str
+    #: The acting user, kept so a replay pass can re-authenticate the
+    #: re-dispatched action (older pickled letters default to "").
+    user: str = ""
 
     @staticmethod
     def from_pending(pending: PendingAction, dead_at: float, reason: str) -> "DeadLetter":
@@ -235,4 +260,59 @@ class DeadLetter:
             attempts=pending.attempts,
             last_status=pending.last_status,
             reason=reason,
+            user=pending.user,
         )
+
+    def to_pending(self) -> PendingAction:
+        """Re-open a dead letter as a fresh delivery commitment.
+
+        The attempt budget restarts (the letter already exhausted its
+        original one against the *unhealthy* service) while
+        ``created_at`` is preserved, so replayed-event latency is still
+        measured from the original trigger time.
+        """
+        return PendingAction(
+            applet_id=self.applet_id,
+            service_slug=self.service_slug,
+            action_slug=self.action_slug,
+            fields=dict(self.fields),
+            user=self.user,
+            event_id=self.event_id,
+            created_at=self.created_at,
+        )
+
+
+@dataclass(frozen=True)
+class ReplayPolicy:
+    """Tunables for dead-letter replay (:mod:`repro.engine.replay`).
+
+    Attributes
+    ----------
+    batch_limit:
+        Maximum actions coalesced into one
+        :class:`~repro.services.partner.BatchActionRequest` — the same
+        k = 50 default the paper reverse-engineered from the partner
+        polling protocol's ``limit``.
+    batching:
+        When False every replayed action is re-dispatched as its own
+        single-action request — the unbatched baseline the catch-up
+        burst measurement compares against.
+    replay_on_heal:
+        Drain a service's dead letters automatically when its circuit
+        breaker closes.  Explicit :meth:`ReplayController.replay_service`
+        calls work either way.
+    drain_delay:
+        Seconds between the heal and the drain (0 = the next simulator
+        event after the closing transition).
+    """
+
+    batch_limit: int = 50
+    batching: bool = True
+    replay_on_heal: bool = True
+    drain_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.batch_limit < 1:
+            raise ValueError(f"batch_limit must be >= 1, got {self.batch_limit}")
+        if self.drain_delay < 0:
+            raise ValueError(f"drain_delay must be >= 0, got {self.drain_delay}")

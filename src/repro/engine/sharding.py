@@ -22,9 +22,17 @@ stall the rest of the fleet.  :class:`ShardedEngine` is the coordinator:
   ``tests/test_sharding.py`` holds regression tests for exactly that.
 * **accounting** — :meth:`ShardedEngine.stats` sums shard counters into
   fleet totals, and the conservation invariant
-  ``dispatched == delivered + in_retry + dead_lettered`` is checkable
-  both per shard (:meth:`conservation`) and fleet-wide, because it holds
-  shard-locally and counters add.
+  ``dispatched == delivered + in_retry + dead_lettered + in_replay`` is
+  checkable both per shard (:meth:`conservation`) and fleet-wide,
+  because it holds shard-locally and counters add.
+* **replay** — dead-letter replay (:mod:`repro.engine.replay`) stays
+  shard-local: each shard's :class:`~repro.engine.replay.ReplayController`
+  drains only its own sink, and :meth:`ShardedEngine.replay_dead_letters`
+  fans the explicit trigger out to every shard.  Its
+  ``engine.shard<i>.replay.*`` metric families fold into fleet-wide
+  ``engine.replay.*`` by the same snapshot algebra as every other
+  engine metric — :func:`shard_snapshot` rebases on prefix, so new
+  families need no special casing.
 * **snapshot algebra** — :func:`shard_snapshot` rebases one shard's
   ``engine.shard<i>.*`` metrics onto the unsharded ``engine.*`` names,
   and :func:`merged_fleet_snapshot` folds all shards into fleet totals
@@ -348,11 +356,21 @@ class ShardedEngine:
             index: shard.breaker_states() for index, shard in enumerate(self.shards)
         }
 
+    def replay_dead_letters(self, service_slug: Optional[str] = None) -> None:
+        """Explicitly drain dead letters on every shard (shard-locally).
+
+        Each shard replays only its own sink; shards without matching
+        letters are no-ops.  Requires ``config.replay_policy`` to be set
+        (every shard inherits it), like the single-engine method.
+        """
+        for shard in self.shards:
+            shard.replay_dead_letters(service_slug)
+
     def conservation(self) -> Dict[str, Any]:
         """The delivery-conservation invariant, per shard and fleet-wide.
 
-        For every shard (and therefore for their sum),
-        ``dispatched == delivered + in_retry + dead_lettered``; the
+        For every shard (and therefore for their sum), ``dispatched ==
+        delivered + in_retry + dead_lettered + in_replay``; the
         ``*_lost`` entries report the residual, which must be 0.
         """
         per_shard = []
@@ -362,6 +380,7 @@ class ShardedEngine:
                 - stats["actions_delivered"]
                 - stats["actions_in_retry"]
                 - stats["dead_letters"]
+                - stats["actions_in_replay"]
             )
         return {"shard_lost": per_shard, "fleet_lost": sum(per_shard)}
 

@@ -17,9 +17,11 @@ from repro.reporting.metrics_report import (
     render_metrics_summary,
     write_metrics_json,
 )
+from repro.reporting.replay_report import render_replay_comparison
 
 __all__ = [
     "render_table",
+    "render_replay_comparison",
     "cdf_points",
     "cdf_at",
     "summarize_latencies",

@@ -19,7 +19,7 @@ concrete services:
 
 from repro.services.buffer import TriggerEvent, TriggerBuffer
 from repro.services.endpoints import TriggerEndpoint, ActionEndpoint, QueryEndpoint, Channel
-from repro.services.partner import PartnerService, AuthError
+from repro.services.partner import BatchActionRequest, PartnerService, AuthError
 from repro.services.custom import CustomService
 from repro.services.official import (
     OfficialHueService,
@@ -41,6 +41,7 @@ __all__ = [
     "QueryEndpoint",
     "Channel",
     "PartnerService",
+    "BatchActionRequest",
     "AuthError",
     "CustomService",
     "OfficialHueService",

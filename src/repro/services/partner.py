@@ -16,10 +16,11 @@ Implements the service side of the IFTTT web-based protocol observed in
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.net.address import Address
-from repro.net.http import HttpNode, HttpRequest
+from repro.net.http import HttpError, HttpNode, HttpRequest
 from repro.obs.metrics import COUNT_BUCKETS
 from repro.services.buffer import TriggerBuffer, TriggerEvent
 from repro.services.endpoints import ActionEndpoint, QueryEndpoint, TriggerEndpoint
@@ -30,6 +31,43 @@ ACTION_PATH = "/ifttt/v1/actions/"
 QUERY_PATH = "/ifttt/v1/queries/"
 STATUS_PATH = "/ifttt/v1/status"
 REALTIME_NOTIFY_PATH = "/ifttt/v1/webhooks/service/notify"
+#: Batched action dispatch (dead-letter replay catch-up).  Longest-prefix
+#: routing keeps it from shadowing single actions under ``ACTION_PATH``.
+BATCH_ACTION_PATH = "/ifttt/v1/actions/batch"
+
+
+@dataclass(frozen=True)
+class BatchActionRequest:
+    """Several same-service action executions coalesced into one request.
+
+    The engine's replay pass uses this to flatten the post-heal catch-up
+    burst: instead of one HTTP request per dead-lettered action, up to
+    ``ReplayPolicy.batch_limit`` of them (the paper's k = 50 batching
+    default) travel together.  Each entry is one would-be single-action
+    body: ``{"action_slug", "actionFields", "user"}``.
+    """
+
+    entries: Tuple[Dict[str, Any], ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("a BatchActionRequest needs at least one entry")
+        for entry in self.entries:
+            if "action_slug" not in entry:
+                raise ValueError(f"batch entry missing action_slug: {entry!r}")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def to_body(self) -> Dict[str, Any]:
+        """The wire body (``POST /ifttt/v1/actions/batch``)."""
+        return {"actions": [dict(entry) for entry in self.entries]}
+
+    @staticmethod
+    def from_body(body: Optional[Dict[str, Any]]) -> "BatchActionRequest":
+        """Parse a wire body; raises ``ValueError`` when malformed."""
+        entries = tuple(dict(entry) for entry in (body or {}).get("actions", []))
+        return BatchActionRequest(entries=entries)
 
 
 class AuthError(RuntimeError):
@@ -83,6 +121,8 @@ class PartnerService(HttpNode):
         self._valid_tokens: Set[str] = set()
         self.polls_served = 0
         self.actions_executed = 0
+        self.batch_requests_served = 0
+        self.batch_actions_executed = 0
         self.events_ingested = 0
         self.realtime_hints_sent = 0
         self.auth_failures = 0
@@ -95,6 +135,7 @@ class PartnerService(HttpNode):
         self.requests_rejected_by_faults = 0
         self.add_route("POST", TRIGGER_PATH, self._handle_trigger_poll)
         self.add_route("POST", ACTION_PATH, self._handle_action)
+        self.add_route("POST", BATCH_ACTION_PATH, self._handle_batch_action)
         self.add_route("POST", QUERY_PATH, self._handle_query)
         self.add_route("GET", STATUS_PATH, self._handle_status)
 
@@ -340,6 +381,66 @@ class PartnerService(HttpNode):
             )
         result = endpoint.executor(fields)
         return {"data": [{"id": f"{self.slug}:{slug}:{self.actions_executed}", "result": result}]}
+
+    def _handle_batch_action(self, request: HttpRequest):
+        """Execute a :class:`BatchActionRequest`; per-entry status in order.
+
+        Outage/brownout and authentication fail the whole batch (one
+        healed service answers for all entries it carries); a bad entry
+        — unknown slug or an executor raising :class:`HttpError` — fails
+        only itself, so one poisoned action cannot re-dead-letter its
+        batchmates.
+        """
+        rejected = self._check_outage()
+        if rejected is not None:
+            return rejected
+        try:
+            self._authenticate(request)
+        except AuthError as exc:
+            return 401, {"errors": [{"message": str(exc)}]}
+        try:
+            batch = BatchActionRequest.from_body(request.body)
+        except ValueError as exc:
+            return 400, {"errors": [{"message": str(exc)}]}
+        self.batch_requests_served += 1
+        if self.metrics is not None:
+            self.metrics.counter("service.batch_requests_served", service=self.slug).inc()
+            self.metrics.histogram(
+                "service.batch_action_size", bounds=COUNT_BUCKETS, service=self.slug
+            ).observe(len(batch))
+        results: List[Dict[str, Any]] = []
+        for entry in batch.entries:
+            slug = entry["action_slug"]
+            endpoint = self._actions.get(slug)
+            if endpoint is None:
+                results.append(
+                    {"status": 404,
+                     "errors": [{"message": f"unknown action {slug!r}"}]}
+                )
+                continue
+            try:
+                result = endpoint.executor(entry.get("actionFields", {}))
+            except HttpError as exc:
+                results.append(
+                    {"status": exc.status, "errors": [{"message": exc.reason}]}
+                )
+                continue
+            self.actions_executed += 1
+            self.batch_actions_executed += 1
+            results.append(
+                {"status": 200,
+                 "id": f"{self.slug}:{slug}:{self.actions_executed}",
+                 "result": result}
+            )
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                f"service:{self.slug}",
+                "service_batch_action_received",
+                entries=len(batch),
+                executed=sum(1 for r in results if r["status"] == 200),
+            )
+        return {"data": results}
 
     def _handle_query(self, request: HttpRequest):
         rejected = self._check_outage()

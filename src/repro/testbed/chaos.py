@@ -51,6 +51,8 @@ from repro.engine.config import EngineConfig
 from repro.engine.engine import IftttEngine
 from repro.engine.oauth import OAuthAuthority
 from repro.engine.poller import FixedPollingPolicy
+from repro.engine.replay import ReplayController
+from repro.engine.resilience import ReplayPolicy
 from repro.engine.sharding import ShardedEngine, merged_fleet_snapshot
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, link_down, service_flap, service_outage
@@ -141,6 +143,120 @@ def chaos_scenario(name: str) -> ChaosScenario:
 
 
 @dataclass
+class ReplayReport:
+    """The catch-up burst a dead-letter replay produced, measured.
+
+    §6's fleet-load discussion warns that recovery traffic is
+    *instantaneously* bursty: after a heal, every deferred delivery
+    wants to go out at once.  This report quantifies that burst —
+    request rate, duration, and the T2A the replayed events finally
+    achieved — so batched dispatch (one request per
+    :attr:`~repro.engine.resilience.ReplayPolicy.batch_limit` actions)
+    can be compared against single-shot replay on the same scenario.
+    """
+
+    batching: bool
+    batch_limit: int
+    replayed: int
+    requests_sent: int
+    delivered: int
+    refailed: int
+    drains: int
+    #: First re-dispatch and last replayed delivery (sim seconds).
+    burst_start: Optional[float]
+    burst_end: Optional[float]
+    #: Trigger-to-action latency of each replayed delivery, measured
+    #: from the action's *original* dispatch commitment.
+    t2a: List[float] = field(default_factory=list)
+    #: Mean engine request rate over the whole run, for the burst ratio.
+    steady_requests_per_second: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Burst envelope length in seconds (0.0 if nothing replayed)."""
+        if self.burst_start is None or self.burst_end is None:
+            return 0.0
+        return max(0.0, self.burst_end - self.burst_start)
+
+    @property
+    def requests_per_second(self) -> float:
+        """Replay requests over the burst envelope."""
+        if self.requests_sent == 0:
+            return 0.0
+        duration = self.duration
+        return self.requests_sent / duration if duration > 0 else float("inf")
+
+    @property
+    def burst_ratio(self) -> float:
+        """Burst request rate over the run's steady rate (§6's
+        peak-to-mean burstiness, applied to recovery traffic)."""
+        if self.steady_requests_per_second <= 0:
+            return 0.0
+        rps = self.requests_per_second
+        return rps / self.steady_requests_per_second if rps != float("inf") else float("inf")
+
+    def t2a_mean(self) -> float:
+        return sum(self.t2a) / len(self.t2a) if self.t2a else 0.0
+
+    def t2a_max(self) -> float:
+        return max(self.t2a) if self.t2a else 0.0
+
+    def summary_lines(self) -> List[str]:
+        mode = (
+            f"batched (limit={self.batch_limit})" if self.batching else "unbatched"
+        )
+        lines = [
+            f"  replay [{mode}]: replayed={self.replayed} "
+            f"requests={self.requests_sent} delivered={self.delivered} "
+            f"refailed={self.refailed} drains={self.drains}",
+        ]
+        if self.replayed:
+            lines.append(
+                f"    burst: {self.duration:.2f}s at "
+                f"{self.requests_per_second:.2f} req/s "
+                f"({self.burst_ratio:.1f}x steady "
+                f"{self.steady_requests_per_second:.2f} req/s)"
+            )
+        if self.t2a:
+            lines.append(
+                f"    replayed t2a: n={len(self.t2a)} "
+                f"mean={self.t2a_mean():.2f}s max={self.t2a_max():.2f}s"
+            )
+        return lines
+
+
+def _replay_report(
+    controllers: List[ReplayController], ran_until: float, total_requests: int
+) -> Optional[ReplayReport]:
+    """Fold one or more shard-local replay controllers into one report."""
+    controllers = [c for c in controllers if c is not None]
+    if not controllers:
+        return None
+    policy = controllers[0].policy
+    starts = [c.first_dispatch_at for c in controllers if c.first_dispatch_at is not None]
+    ends = [c.last_delivery_at for c in controllers if c.last_delivery_at is not None]
+    deliveries = sorted(
+        ((at, record) for c in controllers for at, record in c.deliveries),
+        key=lambda pair: pair[0],
+    )
+    return ReplayReport(
+        batching=policy.batching,
+        batch_limit=policy.batch_limit,
+        replayed=sum(c.dead_letters_replayed for c in controllers),
+        requests_sent=sum(c.requests_sent for c in controllers),
+        delivered=sum(c.actions_delivered for c in controllers),
+        refailed=sum(c.actions_failed for c in controllers),
+        drains=sum(c.drains for c in controllers),
+        burst_start=min(starts) if starts else None,
+        burst_end=max(ends) if ends else None,
+        t2a=[max(0.0, at - record.created_at) for at, record in deliveries],
+        steady_requests_per_second=(
+            total_requests / ran_until if ran_until > 0 else 0.0
+        ),
+    )
+
+
+@dataclass
 class ChaosResult:
     """Everything a chaos run proves, in one record."""
 
@@ -153,12 +269,14 @@ class ChaosResult:
     actions_delivered: int
     actions_dead_lettered: int
     actions_in_retry: int
+    actions_in_replay: int
     t2a_by_phase: Dict[str, List[float]]
     breaker_transitions: List[Tuple[float, str, str, str]]
     faults_activated: int
     faults_deactivated: int
     engine_stats: Dict[str, int]
     snapshot: Dict[str, Any] = field(repr=False)
+    replay: Optional[ReplayReport] = None
 
     @property
     def actions_silently_lost(self) -> int:
@@ -168,6 +286,7 @@ class ChaosResult:
             - self.actions_delivered
             - self.actions_dead_lettered
             - self.actions_in_retry
+            - self.actions_in_replay
         )
 
     def t2a_max(self, phase: str) -> float:
@@ -194,6 +313,8 @@ class ChaosResult:
             f"polls={self.engine_stats['polls_shed']} "
             f"actions={self.engine_stats['actions_shed']}",
         ]
+        if self.replay is not None:
+            lines.extend(self.replay.summary_lines())
         for phase in ("before", "during", "after"):
             values = self.t2a_by_phase.get(phase, [])
             if values:
@@ -220,6 +341,7 @@ class ChaosWorld:
         seed: int = 7,
         poll_interval: float = 5.0,
         engine_config: Optional[EngineConfig] = None,
+        replay: Optional[ReplayPolicy] = None,
     ) -> None:
         self.seed = seed
         self.sim = Simulator()
@@ -234,6 +356,8 @@ class ChaosWorld:
             poll_timeout=10.0,
             action_timeout=10.0,
         )
+        if replay is not None:
+            config = replace(config, replay_policy=replay)
         self.engine = self.network.add_node(IftttEngine(
             Address(ENGINE_HOST), config=config,
             rng=self.rng.fork("engine"), trace=self.trace, service_time=0.0,
@@ -306,6 +430,7 @@ class ChaosWorld:
             for slug, breaker in engine._breakers.items()
             for at, old, new in breaker.transitions
         )
+        stats = engine.stats()
         return ChaosResult(
             scenario=scenario.name,
             seed=self.seed,
@@ -316,12 +441,17 @@ class ChaosWorld:
             actions_delivered=engine.actions_delivered,
             actions_dead_lettered=len(engine.dead_letters),
             actions_in_retry=engine.actions_in_retry,
+            actions_in_replay=engine.actions_in_replay,
             t2a_by_phase=t2a_by_phase,
             breaker_transitions=transitions,
             faults_activated=self.injector.activations,
             faults_deactivated=self.injector.deactivations,
-            engine_stats=engine.stats(),
+            engine_stats=stats,
             snapshot=deterministic_snapshot(self.metrics),
+            replay=_replay_report(
+                [engine.replay], until,
+                stats["polls_sent"] + stats["actions_dispatched"],
+            ),
         )
 
 
@@ -342,11 +472,14 @@ def run_chaos_scenario(
     plan: Optional[FaultPlan] = None,
     poll_interval: float = 5.0,
     drain: float = DRAIN_SECONDS,
+    replay: Optional[ReplayPolicy] = None,
 ) -> ChaosResult:
     """Run one chaos scenario end to end and return its accounting.
 
     ``plan`` overrides the scenario's built-in fault plan (the event
     schedule is kept), which is how ``--faults PLAN.json`` plugs in.
+    ``replay`` enables dead-letter replay with the given policy (see
+    ``--replay``); the result then carries a :class:`ReplayReport`.
     """
     scenario = chaos_scenario(name)
     if plan is not None:
@@ -356,7 +489,7 @@ def run_chaos_scenario(
             event_times=scenario.event_times,
             plan=plan,
         )
-    world = ChaosWorld(seed=seed, poll_interval=poll_interval)
+    world = ChaosWorld(seed=seed, poll_interval=poll_interval, replay=replay)
     return world.run(scenario, drain=drain)
 
 
@@ -420,6 +553,7 @@ class ShardedChaosResult:
     shard_loads: List[int]
     snapshot: Dict[str, Any] = field(repr=False)
     merged_engine_snapshot: Dict[str, Any] = field(repr=False)
+    replay: Optional[ReplayReport] = None
 
     @property
     def shard_silently_lost(self) -> List[int]:
@@ -429,6 +563,7 @@ class ShardedChaosResult:
             - stats["actions_delivered"]
             - stats["actions_in_retry"]
             - stats["dead_letters"]
+            - stats["actions_in_replay"]
             for stats in self.shard_stats
         ]
 
@@ -471,6 +606,8 @@ class ShardedChaosResult:
             f"  faults:  activated={self.faults_activated} "
             f"deactivated={self.faults_deactivated}",
         ]
+        if self.replay is not None:
+            lines.extend(self.replay.summary_lines())
         for shard in range(self.num_shards):
             tag = " (victim)" if shard == self.victim_shard else ""
             per = self.shard_stats[shard]
@@ -514,6 +651,7 @@ class ShardedChaosWorld:
         shard_strategy: str = "service_hash",
         pairs: int = SHARDED_PAIRS,
         engine_config: Optional[EngineConfig] = None,
+        replay: Optional[ReplayPolicy] = None,
     ) -> None:
         self.seed = seed
         self.pairs = pairs
@@ -534,6 +672,7 @@ class ShardedChaosWorld:
             poll_policy=config.poll_policy.clone(),
             num_shards=num_shards,
             shard_strategy=shard_strategy,
+            replay_policy=replay if replay is not None else config.replay_policy,
         )
         self.fleet = ShardedEngine(
             self.network,
@@ -651,6 +790,7 @@ class ShardedChaosWorld:
             int(self.metrics.total(f"{shard.metrics_namespace}.events_observed"))
             for shard in self.fleet.shards
         )
+        fleet_stats = self.fleet.stats()
         return ShardedChaosResult(
             scenario=scenario.name,
             seed=self.seed,
@@ -660,7 +800,7 @@ class ShardedChaosWorld:
             ran_until=until,
             events_injected=self.events_injected,
             events_observed=events_observed,
-            fleet_stats=self.fleet.stats(),
+            fleet_stats=fleet_stats,
             shard_stats=self.fleet.shard_stats(),
             t2a_by_shard=t2a_by_shard,
             breaker_transitions_by_shard=transitions_by_shard,
@@ -670,6 +810,10 @@ class ShardedChaosWorld:
             shard_loads=self.fleet.shard_loads(),
             snapshot=deterministic_snapshot(self.metrics),
             merged_engine_snapshot=merged_fleet_snapshot(self.metrics.snapshot()),
+            replay=_replay_report(
+                [shard.replay for shard in self.fleet.shards], until,
+                fleet_stats["polls_sent"] + fleet_stats["actions_dispatched"],
+            ),
         )
 
 
@@ -682,12 +826,15 @@ def run_sharded_chaos_scenario(
     poll_interval: float = 5.0,
     pairs: int = SHARDED_PAIRS,
     drain: float = DRAIN_SECONDS,
+    replay: Optional[ReplayPolicy] = None,
 ) -> ShardedChaosResult:
     """Run one chaos scenario against a sharded fleet.
 
     ``plan`` (still in the unsharded vocabulary — it is retargeted at
     the victim pair automatically) overrides the scenario's built-in
-    fault plan, mirroring :func:`run_chaos_scenario`.
+    fault plan, mirroring :func:`run_chaos_scenario`.  ``replay``
+    enables shard-local dead-letter replay on every shard; the result
+    then carries a fleet-folded :class:`ReplayReport`.
     """
     scenario = chaos_scenario(name)
     if plan is not None:
@@ -700,5 +847,6 @@ def run_sharded_chaos_scenario(
     world = ShardedChaosWorld(
         seed=seed, poll_interval=poll_interval,
         num_shards=num_shards, shard_strategy=shard_strategy, pairs=pairs,
+        replay=replay,
     )
     return world.run(scenario, drain=drain)

@@ -96,6 +96,36 @@ class TestChaosCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["chaos", "--shard-strategy", "modulo"])
 
+    def test_chaos_replay_reports_catchup_burst(self, capsys):
+        assert main(["chaos", "--scenario", "outage", "--replay"]) == 0
+        out = capsys.readouterr().out
+        assert "replay [batched (limit=50)]" in out
+        assert "catch-up burst" in out
+        assert "unbatched" in out
+        assert "silently-lost=0" in out
+
+    def test_chaos_replay_snapshot_deterministic(self, capsys, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path in (a, b):
+            assert main(["chaos", "--scenario", "outage", "--seed", "7",
+                         "--replay", "--snapshot", str(path)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+        assert b"engine.replay." in a.read_bytes()
+
+    def test_chaos_replay_sharded(self, capsys):
+        assert main(["chaos", "--scenario", "outage", "--shards", "4",
+                     "--replay"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded chaos scenario 'outage'" in out
+        assert "replay [batched (limit=50)]" in out
+        assert "silently-lost=0" in out
+
+    def test_chaos_replay_invalid_batch_limit_rejected(self, capsys):
+        assert main(["chaos", "--scenario", "outage", "--replay",
+                     "--replay-batch-limit", "0"]) == 2
+        assert "--replay-batch-limit" in capsys.readouterr().err
+
     def test_chaos_sharded_with_custom_plan(self, capsys, tmp_path):
         plan_path = tmp_path / "plan.json"
         plan_path.write_text(

@@ -103,6 +103,32 @@ class TestCircuitBreaker:
         breaker.record_success(10.5)
         assert breaker.state is BreakerState.CLOSED
 
+    def test_reopen_half_open_cycle_restarts_each_window(self):
+        # Regression: the recovery window after HALF_OPEN -> OPEN must be
+        # measured from the *re-open*, not the original trip — and again
+        # on every subsequent cycle.
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1, recovery_timeout=10.0))
+        breaker.record_failure(0.0)                      # cycle 1: open at 0
+        assert breaker.allow(10.0)                       # probe 1
+        breaker.record_failure(12.0)                     # re-open at 12
+        assert breaker._opened_at == 12.0
+        assert not breaker.allow(21.9)                   # 10 s from 12, not 0
+        assert breaker.allow(22.0)                       # probe 2
+        breaker.record_failure(25.0)                     # re-open again at 25
+        assert breaker._opened_at == 25.0
+        assert not breaker.allow(34.9)
+        assert breaker.allow(35.0)                       # probe 3
+        breaker.record_success(35.5)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_opened_at_cleared_on_close(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1, recovery_timeout=10.0))
+        breaker.record_failure(0.0)
+        assert breaker._opened_at == 0.0
+        breaker.allow(10.0)
+        breaker.record_success(10.5)
+        assert breaker._opened_at is None                # no stale clock
+
     def test_stale_failures_ignored_while_open(self):
         breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1, recovery_timeout=10.0))
         breaker.record_failure(0.0)
@@ -251,6 +277,33 @@ class TestActionRetries:
         assert engine.actions_shed >= 1
         # attempts burned through shed + retries; never delivered silently
         assert len(engine.dead_letters) == 1 or engine.actions_delivered == 1
+
+    def test_uninstall_cancels_outstanding_retries(self):
+        # Regression: uninstall_applet cancelled the pending poll but
+        # left action-retry timers armed — a retry firing later would
+        # deliver for a removed applet and corrupt actions_in_retry.
+        sim, _, engine, service, executed = build_world()
+
+        def exploding(fields):
+            raise HttpError(500, "busted")
+
+        service._actions["record"].executor = exploding
+        service.ingest_event("ping", {"n": 9})
+        sim.run_until(11.0)                  # first attempt failed, retry armed
+        assert engine.actions_in_retry == 1
+        applet_id = engine.applets[0].applet_id
+        engine.uninstall_applet(applet_id)
+        assert engine.actions_in_retry == 0
+        assert len(engine.dead_letters) == 1
+        assert engine.dead_letters[0].reason == "applet_removed"
+        sim.run_until(120.0)                 # the cancelled timer never fires
+        assert executed == []
+        assert engine.actions_in_retry == 0
+        assert len(engine.dead_letters) == 1
+        stats = engine.stats()
+        assert stats["actions_dispatched"] == (
+            stats["actions_delivered"] + stats["dead_letters"]
+        )
 
     def test_conservation_no_silent_loss(self):
         sim, _, engine, service, executed = build_world()
