@@ -1,11 +1,11 @@
 # Convenience targets for the IFTTT reproduction.
 
-.PHONY: install test test-fast test-shard bench bench-verbose examples figures chaos chaos-check replay-check clean
+.PHONY: install test test-fast test-shard bench bench-verbose bench-scale examples figures chaos chaos-check replay-check clean
 
 install:
 	pip install -e .
 
-test: replay-check
+test: replay-check bench-scale
 	pytest tests/
 
 # Tier-1 + obs tests minus the multi-second soak/full-scale/example runs;
@@ -26,6 +26,16 @@ bench:
 
 bench-verbose:
 	pytest benchmarks/ --benchmark-only -s
+
+# Fleet-scale perf gate (docs/PERFORMANCE.md): the committed
+# BENCH_fleet_scale.json must carry events/sec + peak RSS for
+# 10K/100K/1M applets and a passing heap-vs-timers snapshot gate;
+# then re-run the 10K dispatch-equivalence gate live.  Regenerate the
+# report with `python benchmarks/bench_fleet_scale.py --output
+# BENCH_fleet_scale.json` (several minutes; the 1M run dominates).
+bench-scale:
+	python benchmarks/bench_fleet_scale.py --check BENCH_fleet_scale.json
+	python benchmarks/bench_fleet_scale.py --gate-only
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo OK; done

@@ -31,6 +31,10 @@ behaviour §4 measures:
 * :mod:`repro.engine.sharding` — the :class:`ShardedEngine` coordinator
   that partitions applets across N engines with per-shard breakers,
   metrics scopes, and a mergeable fleet snapshot (``docs/SHARDING.md``).
+* :mod:`repro.engine.scheduler` — poll-dispatch strategies: the
+  fleet-scale heap scheduler (one wake event per engine, lazy
+  cancellation) and the seed per-applet-timer baseline, selected by
+  ``EngineConfig.poll_dispatch`` (``docs/PERFORMANCE.md``).
 """
 
 from repro.engine.applet import Applet, TriggerRef, ActionRef, AppletState, QueryRef
@@ -64,6 +68,12 @@ from repro.engine.resilience import (
     PendingAction,
     ReplayPolicy,
     RetryPolicy,
+)
+from repro.engine.scheduler import (
+    HeapPollScheduler,
+    POLL_DISPATCH_MODES,
+    TimerPollScheduler,
+    make_poll_scheduler,
 )
 from repro.engine.sharding import (
     ShardedEngine,
@@ -114,6 +124,10 @@ __all__ = [
     "DeadLetter",
     "ReplayPolicy",
     "ReplayController",
+    "POLL_DISPATCH_MODES",
+    "HeapPollScheduler",
+    "TimerPollScheduler",
+    "make_poll_scheduler",
     "SHARD_STRATEGIES",
     "ShardedEngine",
     "stable_service_hash",

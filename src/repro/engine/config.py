@@ -7,6 +7,7 @@ from typing import FrozenSet, Optional
 
 from repro.engine.poller import PollingPolicy, ProductionPollingPolicy
 from repro.engine.resilience import BreakerPolicy, ReplayPolicy, RetryPolicy
+from repro.engine.scheduler import POLL_DISPATCH_MODES
 
 #: Services whose realtime hints production IFTTT is observed to honour.
 #: §4: "it is likely that IFTTT ... processes the real-time API hints for
@@ -95,6 +96,17 @@ class EngineConfig:
         or ``popularity_balanced`` (first sighting of a trigger service
         sticks it to the least-loaded shard — tames heavy-tailed applet
         popularity).  See ``docs/SHARDING.md``.
+    poll_dispatch:
+        How scheduled polls become simulator events — one of
+        :data:`~repro.engine.scheduler.POLL_DISPATCH_MODES`.  ``heap``
+        (the default) runs the engine-internal heap scheduler: one wake
+        event per engine pops batches of due polls, with lazy
+        cancellation on uninstall.  ``timers`` is the seed dispatch (one
+        simulator event per poll) kept as the equivalence/benchmark
+        baseline.  The two are dispatch-equivalent — same poll times,
+        same order, same RNG consumption, identical deterministic
+        snapshots modulo kernel event counters; see
+        ``docs/PERFORMANCE.md`` and ``tests/test_scheduler_equivalence.py``.
     """
 
     poll_policy: PollingPolicy = field(default_factory=ProductionPollingPolicy)
@@ -114,6 +126,7 @@ class EngineConfig:
     replay_policy: Optional[ReplayPolicy] = None
     num_shards: int = 1
     shard_strategy: str = "service_hash"
+    poll_dispatch: str = "heap"
 
     def __post_init__(self) -> None:
         if self.batch_limit <= 0:
@@ -126,6 +139,11 @@ class EngineConfig:
             raise ValueError(
                 f"unknown shard_strategy {self.shard_strategy!r}; "
                 f"expected one of {SHARD_STRATEGIES}"
+            )
+        if self.poll_dispatch not in POLL_DISPATCH_MODES:
+            raise ValueError(
+                f"unknown poll_dispatch {self.poll_dispatch!r}; "
+                f"expected one of {POLL_DISPATCH_MODES}"
             )
 
     def honours_realtime_for(self, service_slug: str) -> bool:

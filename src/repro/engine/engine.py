@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.engine.applet import Applet, ActionRef, AppletState, QueryRef, TriggerRef
@@ -29,6 +29,7 @@ from repro.engine.oauth import OAuthAuthority, TokenCache
 from repro.engine.permissions import ServicePermissionModel
 from repro.engine.poller import PollingPolicy
 from repro.engine.replay import ReplayController
+from repro.engine.scheduler import make_poll_scheduler
 from repro.engine.resilience import (
     BreakerState,
     CircuitBreaker,
@@ -60,20 +61,54 @@ class ServiceRegistration:
     realtime: bool = False
 
 
-@dataclass
 class _AppletRuntime:
-    """Engine-internal per-applet execution state."""
+    """Engine-internal per-applet execution state.
 
-    applet: Applet
-    policy: PollingPolicy
-    filter_expr: Optional[Expr] = None
-    seen_ids: Set[int] = dataclass_field(default_factory=set)
-    seen_order: Deque[int] = dataclass_field(default_factory=deque)
-    poll_in_flight: bool = False
-    pending_poll_event: Any = None
-    polls: int = 0
-    last_poll_at: Optional[float] = None
-    poll_attempts: int = 0  # consecutive failed attempts in the current retry burst
+    ``__slots__``-backed: at the 1M-applet fleet sizes the benchmarks
+    drive, per-instance ``__dict__``s would cost hundreds of megabytes
+    and defeat CPU caches on the poll hot path (see
+    ``docs/PERFORMANCE.md``).  ``poll_gen``/``poll_scheduled`` belong to
+    the heap poll scheduler's lazy-cancellation protocol;
+    ``pending_poll_event`` belongs to the per-applet-timer baseline —
+    each dispatch mode leaves the other's fields untouched.
+    """
+
+    __slots__ = (
+        "applet",
+        "policy",
+        "filter_expr",
+        "seen_ids",
+        "seen_order",
+        "poll_in_flight",
+        "pending_poll_event",
+        "polls",
+        "last_poll_at",
+        "poll_attempts",
+        "poll_gen",
+        "poll_scheduled",
+    )
+
+    def __init__(
+        self,
+        applet: Applet,
+        policy: PollingPolicy,
+        filter_expr: Optional[Expr] = None,
+    ) -> None:
+        self.applet = applet
+        self.policy = policy
+        self.filter_expr = filter_expr
+        self.seen_ids: Set[int] = set()
+        self.seen_order: Deque[int] = deque()
+        self.poll_in_flight = False
+        self.pending_poll_event: Any = None
+        self.polls = 0
+        self.last_poll_at: Optional[float] = None
+        # consecutive failed attempts in the current retry burst
+        self.poll_attempts = 0
+        # heap-scheduler lazy cancellation: entries carry the generation
+        # they were pushed with; a bump invalidates them in place.
+        self.poll_gen = 0
+        self.poll_scheduled = False
 
 
 class IftttEngine(HttpNode):
@@ -168,6 +203,27 @@ class IftttEngine(HttpNode):
             if self.config.replay_policy is not None
             else None
         )
+        # Poll dispatch: how scheduled polls become simulator events —
+        # the heap scheduler (one wake event per engine, batched pops)
+        # or the seed per-applet timers.  See repro.engine.scheduler.
+        self._scheduler = make_poll_scheduler(self, self.config.poll_dispatch)
+        # Hot-path metric handles.  The registry get-or-create path
+        # rebuilds a label dict and a sorted label tuple on every call;
+        # at fleet scale that dominates the dispatch loop, so the
+        # per-poll instruments are resolved once and cached.  The cache
+        # is keyed to the registry's identity: Node.metrics can change
+        # when the engine attaches to a network, and a swap invalidates
+        # every cached handle at once.
+        self._m_registry = None
+        self._m_polls_sent: Dict[str, Any] = {}
+        self._m_poll_rtt = None
+        self._m_poll_batch = None
+        self._m_events_observed = None
+        self._n_polls_sent = f"{metrics_namespace}.polls_sent"
+        self._n_poll_rtt = f"{metrics_namespace}.poll_rtt_seconds"
+        self._n_poll_batch = f"{metrics_namespace}.poll_batch_new"
+        self._n_events_observed = f"{metrics_namespace}.events_observed"
+        self._n_poll_interval = f"{metrics_namespace}.poll_interval_seconds"
         self.add_route("POST", REALTIME_NOTIFY_PATH, self._handle_realtime_hint)
 
     # -- service publication ------------------------------------------------------
@@ -292,12 +348,7 @@ class IftttEngine(HttpNode):
         first_poll = self.config.initial_poll_delay
         if self.config.initial_poll_jitter > 0:
             first_poll += self.rng.uniform(0, self.config.initial_poll_jitter)
-        self.sim.schedule(
-            first_poll,
-            self._poll,
-            runtime,
-            label=f"initial-poll#{applet.applet_id}",
-        )
+        self._scheduler.schedule(runtime, first_poll, initial=True)
         return applet
 
     def applet(self, applet_id: int) -> Applet:
@@ -310,12 +361,10 @@ class IftttEngine(HttpNode):
         return [rt.applet for rt in self._applets.values()]
 
     def disable_applet(self, applet_id: int) -> None:
-        """Stop polling for an applet (its pending poll timer is canceled)."""
+        """Stop polling for an applet (its scheduled poll is canceled)."""
         runtime = self._applets[applet_id]
         runtime.applet.state = AppletState.DISABLED
-        if runtime.pending_poll_event is not None:
-            runtime.pending_poll_event.cancel()
-            runtime.pending_poll_event = None
+        self._scheduler.cancel(runtime)
 
     def enable_applet(self, applet_id: int) -> None:
         """Re-enable a disabled applet and resume polling."""
@@ -342,9 +391,7 @@ class IftttEngine(HttpNode):
         if runtime is None:
             raise KeyError(f"no applet {applet_id}")
         runtime.applet.state = AppletState.DISABLED
-        if runtime.pending_poll_event is not None:
-            runtime.pending_poll_event.cancel()
-            runtime.pending_poll_event = None
+        self._scheduler.cancel(runtime)
         for seq in [
             seq
             for seq, (record, _) in self._retry_timers.items()
@@ -365,6 +412,16 @@ class IftttEngine(HttpNode):
     def poll_count(self, applet_id: int) -> int:
         """How many polls the engine has sent for an applet."""
         return self._applets[applet_id].polls
+
+    def poll_dispatch_stats(self) -> Dict[str, Any]:
+        """The poll scheduler's occupancy/lifecycle snapshot.
+
+        ``mode`` names the active dispatch strategy; heap mode adds
+        ``heap_entries``/``live_entries``/``stale_entries`` (the
+        lazy-cancellation ledger), ``compactions``, ``wakes``, and
+        ``batched_polls``.  See ``docs/PERFORMANCE.md``.
+        """
+        return self._scheduler.stats()
 
     def stats(self) -> Dict[str, int]:
         """A snapshot of the engine's counters (for CLIs and dashboards)."""
@@ -479,14 +536,18 @@ class IftttEngine(HttpNode):
 
     # -- the poll loop ----------------------------------------------------------------
 
+    def _hot_metrics(self, metrics) -> None:
+        """(Re)bind the cached per-poll instrument handles to ``metrics``."""
+        self._m_registry = metrics
+        self._m_polls_sent = {}
+        self._m_poll_rtt = metrics.histogram(self._n_poll_rtt)
+        self._m_poll_batch = metrics.histogram(self._n_poll_batch, bounds=COUNT_BUCKETS)
+        self._m_events_observed = metrics.counter(self._n_events_observed)
+
     def _schedule_next_poll(self, runtime: _AppletRuntime, delay: float) -> None:
         if not runtime.applet.enabled:
             return
-        if runtime.pending_poll_event is not None:
-            runtime.pending_poll_event.cancel()
-        runtime.pending_poll_event = self.sim.schedule(
-            delay, self._poll, runtime, label=f"poll#{runtime.applet.applet_id}"
-        )
+        self._scheduler.schedule(runtime, delay)
 
     def _poll(self, runtime: _AppletRuntime) -> None:
         runtime.pending_poll_event = None
@@ -529,9 +590,15 @@ class IftttEngine(HttpNode):
         self.polls_sent += 1
         metrics = self.metrics
         if metrics is not None:
-            metrics.counter(
-                f"{self._ns}.polls_sent", service=applet.trigger.service_slug
-            ).inc()
+            if metrics is not self._m_registry:
+                self._hot_metrics(metrics)
+            slug = applet.trigger.service_slug
+            counter = self._m_polls_sent.get(slug)
+            if counter is None:
+                counter = self._m_polls_sent[slug] = metrics.counter(
+                    self._n_polls_sent, service=slug
+                )
+            counter.inc()
         if self.trace is not None:
             self.trace.record(
                 self.now,
@@ -589,12 +656,12 @@ class IftttEngine(HttpNode):
                     f"{self._ns}.poll_failures", status=response.status
                 ).inc()
         if metrics is not None:
-            metrics.histogram(f"{self._ns}.poll_rtt_seconds").observe(response.elapsed)
-            metrics.histogram(
-                f"{self._ns}.poll_batch_new", bounds=COUNT_BUCKETS
-            ).observe(len(new_events))
+            if metrics is not self._m_registry:
+                self._hot_metrics(metrics)
+            self._m_poll_rtt.observe(response.elapsed)
+            self._m_poll_batch.observe(len(new_events))
             if new_events:
-                metrics.counter(f"{self._ns}.events_observed").inc(len(new_events))
+                self._m_events_observed.inc(len(new_events))
         if self.trace is not None:
             self.trace.record(
                 self.now,
@@ -634,7 +701,7 @@ class IftttEngine(HttpNode):
             runtime.policy.sample_interval(
                 self.rng,
                 metrics,
-                metric_name=f"{self._ns}.poll_interval_seconds",
+                metric_name=self._n_poll_interval,
                 service=applet.trigger.service_slug,
             ),
         )

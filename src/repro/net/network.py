@@ -48,6 +48,11 @@ class Network:
         self._route_cache: Dict[tuple, List[Link]] = {}
         self.messages_delivered = 0
         self.messages_dropped = 0
+        # Cached per-message instrument handles (transmit runs once per
+        # message; the registry's get-or-create path is too slow there).
+        self._m_registry = None
+        self._m_delivery = None
+        self._m_delivered = None
 
     # -- topology ----------------------------------------------------------
 
@@ -181,8 +186,13 @@ class Network:
                 self.metrics.counter("net.messages_dropped").inc()
                 self.metrics.counter("net.messages_lost").inc()
             return
-        if self.metrics is not None:
-            self.metrics.histogram("net.delivery_seconds").observe(delay)
+        metrics = self.metrics
+        if metrics is not None:
+            if metrics is not self._m_registry:
+                self._m_registry = metrics
+                self._m_delivery = metrics.histogram("net.delivery_seconds")
+                self._m_delivered = metrics.counter("net.messages_delivered")
+            self._m_delivery.observe(delay)
         self.sim.schedule(
             delay,
             self._deliver,
@@ -205,8 +215,13 @@ class Network:
 
     def _deliver(self, message: Message) -> None:
         self.messages_delivered += 1
-        if self.metrics is not None:
-            self.metrics.counter("net.messages_delivered").inc()
+        metrics = self.metrics
+        if metrics is not None:
+            if metrics is not self._m_registry:
+                self._m_registry = metrics
+                self._m_delivery = metrics.histogram("net.delivery_seconds")
+                self._m_delivered = metrics.counter("net.messages_delivered")
+            self._m_delivered.inc()
         self._nodes[message.dst].deliver(message)
 
     def __repr__(self) -> str:

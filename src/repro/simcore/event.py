@@ -72,7 +72,14 @@ class Event:
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        # Compared O(log n) times per heap operation; comparing fields
+        # directly avoids building two tuples per comparison, which at
+        # fleet-scale heap sizes dominated kernel time.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:
         tag = f" {self.label!r}" if self.label else ""

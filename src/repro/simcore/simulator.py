@@ -95,9 +95,11 @@ class Simulator:
 
         Returns ``True`` if an event fired, ``False`` if the heap is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.canceled:
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            event = heappop(heap)
+            if event._canceled:
                 continue
             if event.time < self._now:
                 raise SimulationError("event heap corrupted: time went backwards")
@@ -118,11 +120,12 @@ class Simulator:
         self._stopped = False
         fired = 0
         started = _wall.perf_counter()
+        step = self.step  # bound once: the loop body is the kernel hot path
         try:
             while not self._stopped:
                 if max_events is not None and fired >= max_events:
                     break
-                if not self.step():
+                if not step():
                     break
                 fired += 1
         finally:

@@ -5,13 +5,21 @@ test controller) appends :class:`TraceRecord` entries to a shared
 :class:`Trace`.  The §4 analyses (T2A latency, Table 5 timelines,
 sequential clustering) are pure queries over this trace — mirroring how
 the paper instrumented its testbed at multiple vantage points.
+
+Recording is *lazy*: unless a sink is attached (:meth:`Trace.attach_sink`),
+:meth:`Trace.record` stores a plain ``(time, source, kind, detail)`` tuple
+and the frozen :class:`TraceRecord` dataclass is only materialized when a
+query actually reads the entry.  At fleet scale the engine records one
+entry per poll, so skipping four ``object.__setattr__`` calls per record
+on the hot path is a measurable win; analyses see identical objects
+either way.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -40,6 +48,10 @@ class TraceRecord:
         return self.detail.get(key, default)
 
 
+#: Internal storage shape: ``(time, source, kind, detail)``.
+_Entry = Tuple[float, str, str, Dict[str, Any]]
+
+
 class Trace:
     """An append-only, queryable log of :class:`TraceRecord` entries.
 
@@ -60,25 +72,42 @@ class Trace:
         self.max_records = max_records
         self.dropped = 0
         self.total_recorded = 0
-        self._records: Deque[TraceRecord] = deque(maxlen=max_records)
+        self._records: Deque[_Entry] = deque(maxlen=max_records)
+        self._sinks: List[Callable[[TraceRecord], None]] = []
 
-    def record(self, time: float, source: str, kind: str, **detail: Any) -> TraceRecord:
-        """Append and return a new record (evicting the oldest when bounded)."""
-        rec = TraceRecord(time=time, source=source, kind=kind, detail=detail)
+    def attach_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Stream every future record to ``sink`` as it is written.
+
+        Attaching a sink switches :meth:`record` from the lazy tuple path
+        to eager :class:`TraceRecord` materialization (the sink needs the
+        object); the in-memory store and all queries are unaffected.
+        """
+        self._sinks.append(sink)
+
+    def record(self, time: float, source: str, kind: str, **detail: Any) -> None:
+        """Append a record (evicting the oldest when bounded)."""
         if self.max_records is not None and len(self._records) == self.max_records:
             self.dropped += 1
-        self._records.append(rec)
+        self._records.append((time, source, kind, detail))
         self.total_recorded += 1
-        return rec
+        if self._sinks:
+            rec = TraceRecord(time=time, source=source, kind=kind, detail=detail)
+            for sink in self._sinks:
+                sink(rec)
+
+    @staticmethod
+    def _materialize(entry: _Entry) -> TraceRecord:
+        time, source, kind, detail = entry
+        return TraceRecord(time=time, source=source, kind=kind, detail=detail)
 
     def __len__(self) -> int:
         return len(self._records)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        return (self._materialize(entry) for entry in self._records)
 
     def __getitem__(self, index: int) -> TraceRecord:
-        return self._records[index]
+        return self._materialize(self._records[index])
 
     def clear(self) -> None:
         """Drop all records (used between experiment runs)."""
@@ -97,21 +126,25 @@ class Trace:
 
         ``detail_equals`` keyword arguments must match the record's detail
         dict exactly (e.g. ``trace.query(kind="poll", applet_id=3)``).
+        Only matching entries are materialized into :class:`TraceRecord`
+        objects; non-matches are rejected on the raw storage tuples.
         """
         out: List[TraceRecord] = []
-        for rec in self._records:
-            if kind is not None and rec.kind != kind:
+        for entry in self._records:
+            e_time, e_source, e_kind, e_detail = entry
+            if kind is not None and e_kind != kind:
                 continue
-            if source is not None and rec.source != source:
+            if source is not None and e_source != source:
                 continue
-            if since is not None and rec.time < since:
+            if since is not None and e_time < since:
                 continue
-            if until is not None and rec.time > until:
+            if until is not None and e_time > until:
                 continue
             if detail_equals and any(
-                rec.detail.get(k) != v for k, v in detail_equals.items()
+                e_detail.get(k) != v for k, v in detail_equals.items()
             ):
                 continue
+            rec = self._materialize(entry)
             if where is not None and not where(rec):
                 continue
             out.append(rec)
@@ -129,13 +162,15 @@ class Trace:
 
     def times(self, kind: str, **detail_equals: Any) -> List[float]:
         """Timestamps of all matching records, in order."""
+        if not detail_equals:
+            return [entry[0] for entry in self._records if entry[2] == kind]
         return [rec.time for rec in self.query(kind=kind, **detail_equals)]
 
     def kinds(self) -> Dict[str, int]:
         """Histogram of record kinds."""
         counts: Dict[str, int] = {}
-        for rec in self._records:
-            counts[rec.kind] = counts.get(rec.kind, 0) + 1
+        for entry in self._records:
+            counts[entry[2]] = counts.get(entry[2], 0) + 1
         return counts
 
     def __repr__(self) -> str:

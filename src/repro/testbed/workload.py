@@ -91,12 +91,28 @@ class FleetWorld:
         engine_config: Optional[EngineConfig] = None,
         realtime: bool = False,
         seed: int = 5,
+        with_trace: bool = True,
+        with_metrics: bool = True,
+        shared_user: bool = False,
+        warmup: bool = True,
     ) -> None:
+        """Build the fleet.
+
+        The last four flags exist for ``benchmarks/bench_fleet_scale.py``,
+        which runs this workload at up to a million applets:
+        ``with_trace=False`` / ``with_metrics=False`` drop the
+        observability layers entirely (at 1M applets an unbounded trace
+        alone is gigabytes), ``shared_user=True`` installs every applet
+        under one user so setup skips a million OAuth handshakes, and
+        ``warmup=False`` leaves the initial polls in the heap so the
+        benchmark's timed window includes them.  Defaults preserve the
+        original behaviour exactly.
+        """
         self.n_applets = n_applets
         self.sim = Simulator()
         self.rng = Rng(seed=seed, name="fleet")
-        self.trace = Trace()
-        self.metrics = MetricsRegistry()
+        self.trace = Trace() if with_trace else None
+        self.metrics = MetricsRegistry() if with_metrics else None
         self.sim.metrics = self.metrics
         self.network = Network(self.sim, self.rng.fork("net"), metrics=self.metrics)
         self.engine = self.network.add_node(IftttEngine(
@@ -125,23 +141,32 @@ class FleetWorld:
         self.network.connect(self.engine.address, self.content.address, cloud_internal_latency())
         self.engine.publish_service(self.content)
         authority = OAuthAuthority("content")
+        if shared_user:
+            authority.register_user("fleet-user", "pw")
+            self.engine.connect_service("fleet-user", self.content, authority, "pw")
+        trigger = TriggerRef("content", "new_photo")
+        action = ActionRef("content", "set_wallpaper", {"photo": "{{photo}}"})
         for index in range(n_applets):
-            user = f"user{index:05d}"
-            authority.register_user(user, "pw")
-            self.engine.connect_service(user, self.content, authority, "pw")
+            if shared_user:
+                user = "fleet-user"
+            else:
+                user = f"user{index:05d}"
+                authority.register_user(user, "pw")
+                self.engine.connect_service(user, self.content, authority, "pw")
             self.engine.install_applet(
                 user=user,
                 name=f"wallpaper applet #{index}",
-                trigger=TriggerRef("content", "new_photo"),
-                action=ActionRef("content", "set_wallpaper", {"photo": "{{photo}}"}),
+                trigger=trigger,
+                action=action,
             )
-        # let registration polls drain before measurement starts
-        warmup = (
-            self.engine.config.initial_poll_delay
-            + self.engine.config.initial_poll_jitter
-            + 5.0
-        )
-        self.sim.run_until(warmup)
+        if warmup:
+            # let registration polls drain before measurement starts
+            horizon = (
+                self.engine.config.initial_poll_delay
+                + self.engine.config.initial_poll_jitter
+                + 5.0
+            )
+            self.sim.run_until(horizon)
 
     def _record_action(self, fields: Dict) -> None:
         self.actions_executed += 1
@@ -172,10 +197,14 @@ class FleetWorld:
             publications=publications,
             actions_executed=self.actions_executed,
             latencies=latencies,
-            poll_times=[
-                t for t in self.trace.times("engine_poll_sent") if t >= measure_start
-            ],
-            metrics_snapshot=self.metrics.snapshot(),
+            poll_times=(
+                [t for t in self.trace.times("engine_poll_sent") if t >= measure_start]
+                if self.trace is not None
+                else []
+            ),
+            metrics_snapshot=(
+                self.metrics.snapshot() if self.metrics is not None else None
+            ),
         )
 
 
