@@ -1,11 +1,11 @@
 # Convenience targets for the IFTTT reproduction.
 
-.PHONY: install test test-fast test-shard bench bench-verbose bench-scale examples figures chaos chaos-check replay-check clean
+.PHONY: install test test-fast test-shard bench bench-verbose bench-scale examples figures chaos chaos-check replay-check degrade-check clean
 
 install:
 	pip install -e .
 
-test: replay-check bench-scale
+test: replay-check degrade-check bench-scale
 	pytest tests/
 
 # Tier-1 + obs tests minus the multi-second soak/full-scale/example runs;
@@ -45,7 +45,7 @@ figures:
 
 # Run every built-in chaos scenario (fault injection + resilience).
 chaos:
-	@for s in outage partition flappy; do \
+	@for s in outage partition flappy brownout; do \
 		echo "== chaos $$s"; \
 		python -m repro chaos --scenario $$s || exit 1; \
 		echo; \
@@ -73,6 +73,19 @@ replay-check:
 	@echo "replay determinism: OK (snapshots byte-identical)"
 	@rm -f .replay-a.jsonl .replay-b.jsonl
 
+# Degradation gate: the brownout scenario with adaptive delivery must
+# (a) pass every acceptance criterion — ≥3× victim request-rate drop,
+# no overload dead letters on healthy services, stretch decayed, §4
+# interval quartiles restored — and (b) be bit-reproducible: the same
+# scenario + seed twice, byte-identical snapshots *with adaptation on*
+# (docs/ROBUSTNESS.md, "Adaptive delivery & degradation ladder").
+degrade-check:
+	@python -m repro chaos --scenario brownout --seed 7 --adaptive --snapshot .degrade-a.jsonl > /dev/null || exit 1
+	@python -m repro chaos --scenario brownout --seed 7 --adaptive --snapshot .degrade-b.jsonl > /dev/null || exit 1
+	@cmp .degrade-a.jsonl .degrade-b.jsonl || exit 1
+	@echo "degrade acceptance + determinism: OK (snapshots byte-identical)"
+	@rm -f .degrade-a.jsonl .degrade-b.jsonl
+
 clean:
-	rm -rf figures/ .pytest_cache/ src/repro.egg-info/ .chaos-a.jsonl .chaos-b.jsonl .replay-a.jsonl .replay-b.jsonl
+	rm -rf figures/ .pytest_cache/ src/repro.egg-info/ .chaos-a.jsonl .chaos-b.jsonl .replay-a.jsonl .replay-b.jsonl .degrade-a.jsonl .degrade-b.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -12,6 +12,7 @@ Examples::
     python -m repro chaos --scenario partition --faults plan.json
     python -m repro chaos --scenario outage --shards 4 --snapshot fleet.jsonl
     python -m repro chaos --scenario outage --replay --snapshot replay.jsonl
+    python -m repro chaos --scenario brownout --adaptive
 """
 
 from __future__ import annotations
@@ -142,6 +143,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.obs.metrics import snapshot_to_json_lines
     from repro.testbed.chaos import (
         CHAOS_SCENARIOS,
+        SENSOR_SLUG,
+        SINK_SLUG,
         run_chaos_scenario,
         run_sharded_chaos_scenario,
     )
@@ -164,7 +167,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         except (OSError, FaultPlanError) as exc:
             print(f"cannot load fault plan {args.faults}: {exc}", file=sys.stderr)
             return 2
-    replay_policies = [None]
+    replay_policies = [None, None]
     if args.replay:
         from repro.engine.resilience import ReplayPolicy
 
@@ -174,30 +177,69 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             ReplayPolicy(batch_limit=args.replay_batch_limit, batching=True),
             ReplayPolicy(batch_limit=args.replay_batch_limit, batching=False),
         ]
-    results = []
-    for policy in replay_policies:
+    delivery = None
+    if args.adaptive:
+        from repro.engine.delivery import DeliveryPolicy
+
+        delivery = DeliveryPolicy()
+
+    def _run(replay_policy, delivery_policy):
         if args.shards > 1:
-            results.append(run_sharded_chaos_scenario(
+            return run_sharded_chaos_scenario(
                 args.scenario, seed=args.seed, plan=plan,
                 num_shards=args.shards, shard_strategy=args.shard_strategy,
-                replay=policy,
-            ))
-        else:
-            results.append(run_chaos_scenario(
-                args.scenario, seed=args.seed, plan=plan, replay=policy,
-            ))
-    result = results[0]
+                replay=replay_policy, delivery=delivery_policy,
+            )
+        return run_chaos_scenario(
+            args.scenario, seed=args.seed, plan=plan,
+            replay=replay_policy, delivery=delivery_policy,
+        )
+
+    result = _run(replay_policies[0], delivery)
+    results = [result]
     print(result.summary())
     if args.replay:
         from repro.reporting import render_replay_comparison
 
+        unbatched = _run(replay_policies[1], delivery)
+        results.append(unbatched)
         print()
-        print(render_replay_comparison(results[0].replay, results[1].replay))
+        print(render_replay_comparison(result.replay, unbatched.replay))
+    adaptive_violations = []
+    if args.adaptive:
+        from repro.faults.plan import SERVICE_BROWNOUT
+        from repro.reporting import (
+            adaptive_delivery_violations,
+            render_adaptive_comparison,
+        )
+
+        baseline = _run(replay_policies[0], None)
+        results.append(baseline)
+        print()
+        print(render_adaptive_comparison(result, baseline))
+        effective_plan = plan if plan is not None else CHAOS_SCENARIOS[args.scenario].plan
+        victims = {
+            spec.service for spec in effective_plan
+            if spec.kind == SERVICE_BROWNOUT and spec.service
+        }
+        if args.shards > 1:
+            # Sharded worlds retarget the unsharded vocabulary at pair 0.
+            victims = {
+                f"{slug}0" if slug in (SENSOR_SLUG, SINK_SLUG) else slug
+                for slug in victims
+            }
+        adaptive_violations = adaptive_delivery_violations(result, baseline, victims)
+    exit_code = 0
     for run in results:
         if run.actions_silently_lost:
             print(f"INVARIANT VIOLATED: {run.actions_silently_lost} action(s) "
                   "silently lost", file=sys.stderr)
-            return 1
+            exit_code = 1
+    for violation in adaptive_violations:
+        print(f"ADAPTIVE ACCEPTANCE VIOLATED: {violation}", file=sys.stderr)
+        exit_code = 1
+    if exit_code:
+        return exit_code
     if args.snapshot:
         with open(args.snapshot, "w", encoding="utf-8") as handle:
             handle.write(snapshot_to_json_lines(result.snapshot) + "\n")
@@ -283,7 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos = sub.add_parser("chaos", help="run a fault-injection chaos scenario")
     chaos.add_argument("--scenario", default="outage",
-                       help="outage, partition, or flappy (default outage)")
+                       help="outage, partition, flappy, or brownout (default outage)")
     chaos.add_argument("--seed", type=int, default=7)
     chaos.add_argument("--shards", type=int, default=1, metavar="N",
                        help="run against a sharded engine fleet of N shards "
@@ -297,6 +339,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--replay-batch-limit", type=int, default=50, metavar="K",
                        help="actions coalesced per batched replay request "
                             "(default 50, the paper's polling limit)")
+    chaos.add_argument("--adaptive", action="store_true",
+                       help="enable health-aware adaptive delivery, print the "
+                            "adaptive-vs-polling comparison table, and enforce "
+                            "the degradation acceptance criteria (exit 1 on "
+                            "violation; see docs/ROBUSTNESS.md)")
     chaos.add_argument("--faults", metavar="PLAN.json",
                        help="override the scenario's fault plan with a JSON plan file")
     chaos.add_argument("--snapshot", metavar="PATH",

@@ -24,6 +24,14 @@ behaviour §4 measures:
 * :mod:`repro.engine.resilience` — retry policies, per-service circuit
   breakers, and the action dead-letter sink that keep the engine honest
   under the fault plans of :mod:`repro.faults`.
+* :mod:`repro.engine.delivery` — health-aware adaptive delivery: the
+  per-service :class:`ServiceHealth` EWMA tracker, the
+  :class:`AdaptiveDeliveryPolicy` wrapper that stretches any polling
+  policy under brownout and provably restores the §4 interval
+  distribution after heal, and the :class:`DeliveryController` that
+  adds watermarked admission control and the 4-level degradation
+  ladder (``docs/ROBUSTNESS.md``, "Adaptive delivery & degradation
+  ladder").
 * :mod:`repro.engine.replay` — the :class:`ReplayController` that drains
   a healed service's dead letters back through delivery, coalescing
   same-service actions into batched requests (``docs/ROBUSTNESS.md``,
@@ -44,6 +52,14 @@ from repro.engine.poller import (
     ProductionPollingPolicy,
     FixedPollingPolicy,
     AdaptivePollingPolicy,
+)
+from repro.engine.delivery import (
+    AdaptiveDeliveryPolicy,
+    DEGRADATION_LEVEL_NAMES,
+    DeliveryController,
+    DeliveryPolicy,
+    ServiceHealth,
+    sampled_interval_quartiles,
 )
 from repro.engine.oauth import OAuthAuthority, OAuthGrant
 from repro.engine.engine import IftttEngine, ServiceRegistration
@@ -124,6 +140,12 @@ __all__ = [
     "DeadLetter",
     "ReplayPolicy",
     "ReplayController",
+    "DeliveryPolicy",
+    "DeliveryController",
+    "ServiceHealth",
+    "AdaptiveDeliveryPolicy",
+    "DEGRADATION_LEVEL_NAMES",
+    "sampled_interval_quartiles",
     "POLL_DISPATCH_MODES",
     "HeapPollScheduler",
     "TimerPollScheduler",

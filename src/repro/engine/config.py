@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, Optional
 
+from repro.engine.delivery import DeliveryPolicy
 from repro.engine.poller import PollingPolicy, ProductionPollingPolicy
 from repro.engine.resilience import BreakerPolicy, ReplayPolicy, RetryPolicy
 from repro.engine.scheduler import POLL_DISPATCH_MODES
@@ -96,6 +97,20 @@ class EngineConfig:
         or ``popularity_balanced`` (first sighting of a trigger service
         sticks it to the least-loaded shard — tames heavy-tailed applet
         popularity).  See ``docs/SHARDING.md``.
+    delivery_policy:
+        Health-aware adaptive delivery tunables (``None``, the default,
+        disables adaptation — the engine behaves exactly as before, no
+        new metric families appear, and no extra randomness is
+        consumed, so the determinism gates stay byte-identical).  When
+        set, the engine builds a
+        :class:`~repro.engine.delivery.DeliveryController`: per-service
+        :class:`~repro.engine.delivery.ServiceHealth` EWMA trackers
+        stretch poll intervals and retry backoffs under brownout,
+        watermarked admission bounds the realtime-hint and action-retry
+        queues, replay drains respect the same headroom, and the
+        4-level degradation ladder is exported per service as the
+        ``{ns}.degradation_level`` gauge.  See ``docs/ROBUSTNESS.md``
+        ("Adaptive delivery & degradation ladder").
     poll_dispatch:
         How scheduled polls become simulator events — one of
         :data:`~repro.engine.scheduler.POLL_DISPATCH_MODES`.  ``heap``
@@ -124,6 +139,7 @@ class EngineConfig:
     retry_policy: Optional[RetryPolicy] = field(default_factory=RetryPolicy)
     breaker_policy: Optional[BreakerPolicy] = field(default_factory=BreakerPolicy)
     replay_policy: Optional[ReplayPolicy] = None
+    delivery_policy: Optional[DeliveryPolicy] = None
     num_shards: int = 1
     shard_strategy: str = "service_hash"
     poll_dispatch: str = "heap"

@@ -24,6 +24,12 @@ from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 from repro.engine.applet import Applet, ActionRef, AppletState, QueryRef, TriggerRef
 from repro.engine.filters import Expr, FilterEvalError, parse as parse_filter
 from repro.engine.config import EngineConfig
+from repro.engine.delivery import (
+    DeliveryController,
+    HINT_DEFER,
+    HINT_SHED,
+    response_is_brownout,
+)
 from repro.engine.loops import RuntimeLoopDetector, StaticLoopAnalyzer, LoopError
 from repro.engine.oauth import OAuthAuthority, TokenCache
 from repro.engine.permissions import ServicePermissionModel
@@ -71,6 +77,9 @@ class _AppletRuntime:
     the heap poll scheduler's lazy-cancellation protocol;
     ``pending_poll_event`` belongs to the per-applet-timer baseline —
     each dispatch mode leaves the other's fields untouched.
+    ``fast_poll_pending`` belongs to delivery admission control: it
+    marks a hint-induced fast poll outstanding for this applet, so the
+    per-service hint backlog stays exact under supersede/cancel.
     """
 
     __slots__ = (
@@ -86,6 +95,7 @@ class _AppletRuntime:
         "poll_attempts",
         "poll_gen",
         "poll_scheduled",
+        "fast_poll_pending",
     )
 
     def __init__(
@@ -109,6 +119,7 @@ class _AppletRuntime:
         # they were pushed with; a bump invalidates them in place.
         self.poll_gen = 0
         self.poll_scheduled = False
+        self.fast_poll_pending = False
 
 
 class IftttEngine(HttpNode):
@@ -201,6 +212,17 @@ class IftttEngine(HttpNode):
         self.replay: Optional[ReplayController] = (
             ReplayController(self, self.config.replay_policy)
             if self.config.replay_policy is not None
+            else None
+        )
+        # Health-aware adaptive delivery (None unless
+        # EngineConfig.delivery_policy is set): per-service EWMA health
+        # stretches poll intervals and retry backoffs under brownout,
+        # watermarked admission bounds the hint and retry queues, and
+        # the degradation ladder is exported per service.  When None the
+        # engine is byte-identical to the pre-delivery behaviour.
+        self.delivery: Optional[DeliveryController] = (
+            DeliveryController(self, self.config.delivery_policy)
+            if self.config.delivery_policy is not None
             else None
         )
         # Poll dispatch: how scheduled polls become simulator events —
@@ -338,9 +360,15 @@ class IftttEngine(HttpNode):
             )
             if cycle is not None:
                 raise LoopError(f"applet would create a loop: {[a.describe() for a in cycle]}")
+        policy = self.config.poll_policy.clone()
+        if self.delivery is not None:
+            # Health-based adaptation wraps every applet's private policy
+            # clone around the *shared* per-service health tracker — one
+            # applet's failed poll slows every poll aimed at the service.
+            policy = self.delivery.wrap(policy, trigger.service_slug)
         runtime = _AppletRuntime(
             applet=applet,
-            policy=self.config.poll_policy.clone(),
+            policy=policy,
             filter_expr=filter_expr,
         )
         self._applets[applet.applet_id] = runtime
@@ -365,6 +393,7 @@ class IftttEngine(HttpNode):
         runtime = self._applets[applet_id]
         runtime.applet.state = AppletState.DISABLED
         self._scheduler.cancel(runtime)
+        self._clear_fast_poll(runtime)
 
     def enable_applet(self, applet_id: int) -> None:
         """Re-enable a disabled applet and resume polling."""
@@ -392,6 +421,7 @@ class IftttEngine(HttpNode):
             raise KeyError(f"no applet {applet_id}")
         runtime.applet.state = AppletState.DISABLED
         self._scheduler.cancel(runtime)
+        self._clear_fast_poll(runtime)
         for seq in [
             seq
             for seq, (record, _) in self._retry_timers.items()
@@ -400,6 +430,8 @@ class IftttEngine(HttpNode):
             record, event = self._retry_timers.pop(seq)
             event.cancel()
             self.actions_in_retry -= 1
+            if self.delivery is not None:
+                self.delivery.note_retry_dequeued(record.service_slug)
             self._dead_letter(record, "applet_removed")
         identity = runtime.applet.trigger_identity
         owners = self._by_identity.get(identity, [])
@@ -460,6 +492,18 @@ class IftttEngine(HttpNode):
                     "replay_actions_failed": 0,
                 }
             ),
+            **(
+                self.delivery.stats()
+                if self.delivery is not None
+                else {
+                    "delivery_hints_deferred": 0,
+                    "delivery_hints_shed": 0,
+                    "delivery_retries_deferred": 0,
+                    "delivery_overload_dead_letters": 0,
+                    "delivery_replay_drains_deferred": 0,
+                    "delivery_intervals_stretched": 0,
+                }
+            ),
         }
 
     # -- resilience: per-service circuit breakers --------------------------------------
@@ -484,7 +528,21 @@ class IftttEngine(HttpNode):
                 ),
             )
             self._breakers[service_slug] = breaker
+            # The state gauge is live from birth, not first-transition:
+            # a service whose breaker never trips still reports closed=0,
+            # so dashboards (and the shard-prefix fold) see every guarded
+            # service, not just the ones that have already failed.
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    f"{self._ns}.breaker_state", service=service_slug
+                ).set(BreakerState.CLOSED.level)
         return breaker
+
+    def breaker_levels(self) -> Dict[str, int]:
+        """Current numeric breaker level per service (0/1/2 =
+        closed/half-open/open) — the live values behind the
+        ``{ns}.breaker_state`` gauge family."""
+        return {slug: b.state.level for slug, b in sorted(self._breakers.items())}
 
     def breaker_states(self) -> Dict[str, str]:
         """Current breaker state per service (for dashboards and tests)."""
@@ -504,6 +562,11 @@ class IftttEngine(HttpNode):
                 at, self._ns, "engine_breaker_transition",
                 service=slug, from_state=old.value, to_state=new.value,
             )
+        if self.delivery is not None:
+            # Mirror the breaker level into the service's health tracker
+            # (OPEN/HALF_OPEN suspend stretching so the half-open probe
+            # keeps the baseline cadence) and onto the degradation ladder.
+            self.delivery.on_breaker_transition(slug, old, new)
         if new is BreakerState.CLOSED:
             # The service healed (half-open probe succeeded): resume any
             # suppressed realtime hints and, when replay is configured,
@@ -552,6 +615,12 @@ class IftttEngine(HttpNode):
     def _poll(self, runtime: _AppletRuntime) -> None:
         runtime.pending_poll_event = None
         applet = runtime.applet
+        if runtime.fast_poll_pending:
+            # The hint-induced fast poll is firing (or no-oping): its
+            # backlog slot frees either way.
+            runtime.fast_poll_pending = False
+            if self.delivery is not None:
+                self.delivery.note_fast_poll_done(applet.trigger.service_slug)
         if not applet.enabled or runtime.poll_in_flight:
             return
         breaker = self.breaker_for(applet.trigger.service_slug)
@@ -638,6 +707,8 @@ class IftttEngine(HttpNode):
         if response.ok:
             if breaker is not None:
                 breaker.record_success(self.now)
+            if self.delivery is not None:
+                self.delivery.note_result(applet.trigger.service_slug, ok=True)
             runtime.poll_attempts = 0
             wire_events = (response.body or {}).get("data", [])
             # The wire carries newest-first; process in chronological order.
@@ -651,6 +722,12 @@ class IftttEngine(HttpNode):
             self.poll_failures += 1
             if breaker is not None:
                 breaker.record_failure(self.now)
+            if self.delivery is not None:
+                self.delivery.note_result(
+                    applet.trigger.service_slug,
+                    ok=False,
+                    brownout=response_is_brownout(response),
+                )
             if metrics is not None:
                 metrics.counter(
                     f"{self._ns}.poll_failures", status=response.status
@@ -691,9 +768,15 @@ class IftttEngine(HttpNode):
                     metrics.counter(
                         f"{self._ns}.poll_retries", service=applet.trigger.service_slug
                     ).inc()
-                self._schedule_next_poll(
-                    runtime, retry.backoff(runtime.poll_attempts, self.rng)
-                )
+                delay = retry.backoff(runtime.poll_attempts, self.rng)
+                if self.delivery is not None:
+                    # Stretch the retry burst by the same health factor
+                    # regular polls get — this is what turns a brownout's
+                    # retry storm into a back-off.
+                    delay *= self.delivery.health_for(
+                        applet.trigger.service_slug
+                    ).stretch_factor(self.rng)
+                self._schedule_next_poll(runtime, delay)
                 return
             runtime.poll_attempts = 0  # burst over; fall back to the regular cadence
         self._schedule_next_poll(
@@ -913,6 +996,8 @@ class IftttEngine(HttpNode):
         if response.ok:
             if breaker is not None:
                 breaker.record_success(self.now)
+            if self.delivery is not None:
+                self.delivery.note_result(record.service_slug, ok=True)
             self.actions_delivered += 1
             if metrics is not None:
                 metrics.counter(
@@ -922,6 +1007,12 @@ class IftttEngine(HttpNode):
         self.action_failures += 1
         if breaker is not None:
             breaker.record_failure(self.now)
+        if self.delivery is not None:
+            self.delivery.note_result(
+                record.service_slug,
+                ok=False,
+                brownout=response_is_brownout(response),
+            )
         if metrics is not None:
             metrics.counter(f"{self._ns}.action_failures", status=response.status).inc()
         self._note_action_failure(record)
@@ -930,6 +1021,13 @@ class IftttEngine(HttpNode):
         """Retry a failed delivery, or seal it into the dead-letter sink."""
         retry = self.config.retry_policy
         if retry is not None and not retry.exhausted(record.attempts):
+            if self.delivery is not None and not self.delivery.admit_retry(
+                record.service_slug
+            ):
+                # Retry queue at its high watermark: shedding, not
+                # queueing.  The action is accounted, never silent.
+                self._dead_letter(record, "overload")
+                return
             self.action_retries += 1
             self.actions_in_retry += 1
             if self.metrics is not None:
@@ -937,6 +1035,11 @@ class IftttEngine(HttpNode):
                     f"{self._ns}.action_retries", service=record.service_slug
                 ).inc()
             delay = retry.backoff(record.attempts, self.rng)
+            if self.delivery is not None:
+                delay = self.delivery.stretch_retry_delay(
+                    record.service_slug, delay, self.rng
+                )
+                self.delivery.note_retry_enqueued(record.service_slug)
             if self.trace is not None:
                 self.trace.record(
                     self.now,
@@ -959,6 +1062,8 @@ class IftttEngine(HttpNode):
     def _retry_action(self, seq: int) -> None:
         record, _ = self._retry_timers.pop(seq)
         self.actions_in_retry -= 1
+        if self.delivery is not None:
+            self.delivery.note_retry_dequeued(record.service_slug)
         self._send_action(record)
 
     def _dead_letter(self, record: PendingAction, reason: str) -> None:
@@ -1030,15 +1135,49 @@ class IftttEngine(HttpNode):
                     )
                 return {"status": "received"}
             self.realtime_hints_honoured += 1
-            for identity in identities:
-                self._fast_poll_identity(identity)
+            if self.delivery is None:
+                for identity in identities:
+                    self._fast_poll_identity(identity)
+            else:
+                # Admission control, per identity (each identity is one
+                # outstanding fast poll): allow → immediate, defer →
+                # hint_defer_delay out, shed → the identity waits for
+                # its regular polling cadence.
+                for identity in identities:
+                    verdict = self.delivery.admit_hint(service_slug)
+                    if verdict == HINT_SHED:
+                        continue
+                    delay = (
+                        self.delivery.policy.hint_defer_delay
+                        if verdict == HINT_DEFER
+                        else 0.0
+                    )
+                    self._fast_poll_identity(identity, delay)
         return {"status": "received"}
 
-    def _fast_poll_identity(self, identity: str) -> None:
+    def _fast_poll_identity(self, identity: str, delay: float = 0.0) -> None:
         for applet_id in self._by_identity.get(identity, ()):
             runtime = self._applets[applet_id]
             if runtime.applet.enabled and not runtime.poll_in_flight:
-                self._schedule_next_poll(runtime, 0.0)
+                if self.delivery is not None:
+                    if runtime.fast_poll_pending:
+                        # Already has a fast poll in flight-to-fire; a
+                        # second hint adds nothing but backlog drift.
+                        continue
+                    runtime.fast_poll_pending = True
+                    self.delivery.note_fast_poll_scheduled(
+                        runtime.applet.trigger.service_slug
+                    )
+                self._schedule_next_poll(runtime, delay)
+
+    def _clear_fast_poll(self, runtime: _AppletRuntime) -> None:
+        """Release a cancelled applet's outstanding fast-poll slot."""
+        if runtime.fast_poll_pending:
+            runtime.fast_poll_pending = False
+            if self.delivery is not None:
+                self.delivery.note_fast_poll_done(
+                    runtime.applet.trigger.service_slug
+                )
 
     def _resume_suppressed_hints(self, service_slug: str) -> None:
         """Half-open probe succeeded: fire the fast polls parked while the

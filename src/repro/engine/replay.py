@@ -112,6 +112,18 @@ class ReplayController:
         self._drain_scheduled[service_slug] = False
         self._drain(service_slug)
 
+    def _defer_drain(self, service_slug: str) -> None:
+        """Retry a headroom-starved drain after the delivery backoff."""
+        if self._drain_scheduled.get(service_slug):
+            return
+        self._drain_scheduled[service_slug] = True
+        self.engine.sim.schedule(
+            self.engine.delivery.policy.replay_drain_backoff,
+            self._scheduled_drain,
+            service_slug,
+            label=f"replay-redrain:{service_slug}",
+        )
+
     def _replayable(self, letter: DeadLetter) -> bool:
         """Replaying for an uninstalled applet would resurrect the
         removed-applet delivery bug; such letters stay sealed."""
@@ -123,16 +135,36 @@ class ReplayController:
         engine = self.engine
         drained: List[DeadLetter] = []
         kept: List[DeadLetter] = []
+        # Delivery admission: a drain may only put as many records in
+        # flight as the retry queue's high watermark leaves room for —
+        # a catch-up burst respects the same ingestion bound ordinary
+        # failures do.  Letters past the headroom stay sealed and a
+        # re-drain is scheduled ``replay_drain_backoff`` out.
+        headroom = (
+            engine.delivery.replay_headroom(service_slug)
+            if engine.delivery is not None
+            else None
+        )
+        deferred = 0
         for letter in engine.dead_letters:
             if letter.service_slug == service_slug and self._replayable(letter):
-                drained.append(letter)
+                if headroom is not None and len(drained) >= headroom:
+                    deferred += 1
+                    kept.append(letter)
+                else:
+                    drained.append(letter)
             else:
                 kept.append(letter)
+        if deferred:
+            engine.delivery.note_replay_drain_deferred(service_slug)
+            self._defer_drain(service_slug)
         if not drained:
             return
         engine.dead_letters[:] = kept
         records = [letter.to_pending() for letter in drained]
         engine.actions_in_replay += len(records)
+        if engine.delivery is not None:
+            engine.delivery.note_replay_enqueued(service_slug, len(records))
         self.drains += 1
         self.dead_letters_replayed += len(records)
         ns = engine.metrics_namespace
@@ -175,6 +207,8 @@ class ReplayController:
         for record in records:
             record.attempts += 1
             engine.actions_in_replay -= 1
+            if engine.delivery is not None:
+                engine.delivery.note_replay_dequeued(record.service_slug)
             self.actions_failed += 1
             engine._note_action_failure(record)
         if engine.metrics is not None:
@@ -276,6 +310,8 @@ class ReplayController:
     def _delivered(self, record: PendingAction) -> None:
         engine = self.engine
         engine.actions_in_replay -= 1
+        if engine.delivery is not None:
+            engine.delivery.note_replay_dequeued(record.service_slug)
         engine.actions_delivered += 1
         self.actions_delivered += 1
         self.last_delivery_at = engine.now
@@ -309,6 +345,8 @@ class ReplayController:
     def _refail(self, record: PendingAction) -> None:
         engine = self.engine
         engine.actions_in_replay -= 1
+        if engine.delivery is not None:
+            engine.delivery.note_replay_dequeued(record.service_slug)
         self.actions_failed += 1
         if engine.metrics is not None:
             ns = engine.metrics_namespace

@@ -17,7 +17,9 @@ stall the rest of the fleet.  :class:`ShardedEngine` is the coordinator:
   popularity that makes naive hashing skew hot shards.
 * **isolation** — every shard is a full engine with its *own*
   per-service circuit breakers, retry queues, dead-letter sink, RNG fork
-  (``rng.fork("shard<i>")``), and metrics namespace
+  (``rng.fork("shard<i>")``), delivery health trackers
+  (:mod:`repro.engine.delivery` — one shard's brownout stretch never
+  slows another shard's polls), and metrics namespace
   (``engine.shard<i>.*``).  Nothing mutable is shared between shards;
   ``tests/test_sharding.py`` holds regression tests for exactly that.
 * **accounting** — :meth:`ShardedEngine.stats` sums shard counters into
@@ -355,6 +357,31 @@ class ShardedEngine:
         return {
             index: shard.breaker_states() for index, shard in enumerate(self.shards)
         }
+
+    def breaker_levels(self) -> Dict[int, Dict[str, int]]:
+        """Per-shard numeric breaker levels (the live
+        ``engine.shard<i>.breaker_state`` gauge values)."""
+        return {
+            index: shard.breaker_levels() for index, shard in enumerate(self.shards)
+        }
+
+    def degradation_levels(self) -> Dict[str, int]:
+        """Fleet-wide degradation ladder: worst level per service.
+
+        Health is shard-local (like breakers), so the fleet answer for a
+        service is the *max* across shards — the same algebra the gauge
+        merge applies when ``engine.shard<i>.degradation_level`` families
+        fold into ``engine.degradation_level``.  Empty when
+        ``config.delivery_policy`` is unset.
+        """
+        merged: Dict[str, int] = {}
+        for shard in self.shards:
+            if shard.delivery is None:
+                continue
+            for slug, level in shard.delivery.levels().items():
+                if level > merged.get(slug, -1):
+                    merged[slug] = level
+        return merged
 
     def replay_dead_letters(self, service_slug: Optional[str] = None) -> None:
         """Explicitly drain dead letters on every shard (shard-locally).

@@ -18,10 +18,16 @@ from repro.reporting.metrics_report import (
     write_metrics_json,
 )
 from repro.reporting.replay_report import render_replay_comparison
+from repro.reporting.adaptive_report import (
+    adaptive_delivery_violations,
+    render_adaptive_comparison,
+)
 
 __all__ = [
     "render_table",
     "render_replay_comparison",
+    "render_adaptive_comparison",
+    "adaptive_delivery_violations",
     "cdf_points",
     "cdf_at",
     "summarize_latencies",

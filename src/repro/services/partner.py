@@ -290,17 +290,37 @@ class PartnerService(HttpNode):
         self.outage = active
 
     def _check_outage(self):
+        """Whole-request gate: hard outage first, then one brownout draw.
+
+        Single-action/poll/query handlers carry one operation per
+        request, so one draw per request *is* one draw per operation.
+        The batch-action handler must not use this combined gate for its
+        brownout half — see :meth:`_handle_batch_action`.
+        """
+        rejected = self._check_hard_outage()
+        if rejected is not None:
+            return rejected
+        if self._brownout_rejects():
+            return 503, {"errors": [{"message": "service browning out"}]}
+        return None
+
+    def _check_hard_outage(self):
         if self.outage:
             self.requests_rejected_during_outage += 1
             return 503, {"errors": [{"message": "service unavailable"}]}
+        return None
+
+    def _brownout_rejects(self) -> bool:
+        """One brownout rejection draw (no RNG consumed when no brownout
+        fault is active), counted in ``service.brownout_rejections``."""
         if self.faults is not None and self.faults.rejects():
             self.requests_rejected_by_faults += 1
             if self.metrics is not None:
                 self.metrics.counter(
                     "service.brownout_rejections", service=self.slug
                 ).inc()
-            return 503, {"errors": [{"message": "service browning out"}]}
-        return None
+            return True
+        return False
 
     def _handle_status(self, request: HttpRequest):
         rejected = self._check_outage()
@@ -385,13 +405,21 @@ class PartnerService(HttpNode):
     def _handle_batch_action(self, request: HttpRequest):
         """Execute a :class:`BatchActionRequest`; per-entry status in order.
 
-        Outage/brownout and authentication fail the whole batch (one
-        healed service answers for all entries it carries); a bad entry
-        — unknown slug or an executor raising :class:`HttpError` — fails
-        only itself, so one poisoned action cannot re-dead-letter its
-        batchmates.
+        Hard outage and authentication fail the whole batch (one healed
+        service answers for all entries it carries); a bad entry —
+        unknown slug, an executor raising :class:`HttpError`, or a
+        *brownout rejection draw* — fails only itself, so one poisoned
+        action cannot re-dead-letter its batchmates.
+
+        Brownout is drawn **per entry**, not per request: a batch of 50
+        replayed actions faces the same 50 independent rejection draws
+        the retry path's 50 single-action requests would, so replay
+        catch-up sees exactly the degraded service the rest of delivery
+        does.  (Brownout ``extra_latency`` needs no special casing: the
+        injector raises the node's per-request service time, which this
+        endpoint already pays like any other.)
         """
-        rejected = self._check_outage()
+        rejected = self._check_hard_outage()
         if rejected is not None:
             return rejected
         try:
@@ -411,6 +439,12 @@ class PartnerService(HttpNode):
         results: List[Dict[str, Any]] = []
         for entry in batch.entries:
             slug = entry["action_slug"]
+            if self._brownout_rejects():
+                results.append(
+                    {"status": 503,
+                     "errors": [{"message": "service browning out"}]}
+                )
+                continue
             endpoint = self._actions.get(slug)
             if endpoint is None:
                 results.append(

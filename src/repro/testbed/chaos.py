@@ -31,6 +31,17 @@ Three scenarios ship built in:
     The sensor flaps (down half of every 24 s) for three minutes under
     steady load — a soak proving dedup and delivery conservation
     through repeated short outages.
+``brownout``
+    The sensor browns out for 120 s (50% of requests rejected, +100 ms
+    service time) under steady load — the partial-failure mode the
+    consecutive-failure breaker never trips on.  With
+    :class:`~repro.engine.delivery.DeliveryPolicy` enabled
+    (``delivery=`` / ``repro chaos --adaptive``) the run measures the
+    adaptive stretch: arrivals at the victim during the fault window
+    (sampled exactly by a :class:`_FaultWindowWatcher`), the post-heal
+    stretch factors, and the post-heal poll-interval quartiles against
+    the base policy's — the ≥3× request-rate drop and the §4
+    distribution restoration are both pinned by ``make degrade-check``.
 
 :class:`ShardedChaosWorld` scales the same experiments to a
 :class:`~repro.engine.sharding.ShardedEngine` fleet: several
@@ -48,6 +59,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.applet import ActionRef, TriggerRef
 from repro.engine.config import EngineConfig
+from repro.engine.delivery import (
+    AdaptiveDeliveryPolicy,
+    DEGRADATION_LEVEL_NAMES,
+    DeliveryPolicy,
+    sampled_interval_quartiles,
+)
 from repro.engine.engine import IftttEngine
 from repro.engine.oauth import OAuthAuthority
 from repro.engine.poller import FixedPollingPolicy
@@ -55,7 +72,13 @@ from repro.engine.replay import ReplayController
 from repro.engine.resilience import ReplayPolicy
 from repro.engine.sharding import ShardedEngine, merged_fleet_snapshot
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan, link_down, service_flap, service_outage
+from repro.faults.plan import (
+    FaultPlan,
+    link_down,
+    service_brownout,
+    service_flap,
+    service_outage,
+)
 from repro.iot.gateway import GatewayRouter
 from repro.net.address import Address
 from repro.net.latency import cloud_internal_latency
@@ -129,6 +152,17 @@ CHAOS_SCENARIOS: Dict[str, ChaosScenario] = {
             service_flap(SENSOR_SLUG, at=30.0, duration=180.0, period=24.0, duty=0.5),
         )),
     ),
+    "brownout": ChaosScenario(
+        name="brownout",
+        description="sensor brownout for 120 s (50% rejects, +100 ms)",
+        event_times=_cadence(10.0, 250.0, 4.0),
+        plan=FaultPlan((
+            service_brownout(
+                SENSOR_SLUG, at=60.0, duration=120.0,
+                error_rate=0.5, extra_latency=0.1,
+            ),
+        )),
+    ),
 }
 
 
@@ -140,6 +174,52 @@ def chaos_scenario(name: str) -> ChaosScenario:
         raise KeyError(
             f"unknown chaos scenario {name!r}; expected one of {sorted(CHAOS_SCENARIOS)}"
         ) from None
+
+
+class _FaultWindowWatcher:
+    """Exact per-service request arrivals inside each fault window.
+
+    The adaptive-delivery acceptance criterion ("the victim's request
+    rate drops ≥3× during the brownout") needs the number of requests
+    that *arrived at the victim* strictly inside the fault window —
+    sampled, not inferred from rates.  The watcher schedules one edge
+    callback at each service fault's ``at`` and ``end`` and differences
+    the node's ``requests_served`` counter between the two, so the count
+    is exact regardless of poll policy, retries, or batching.  The edge
+    events are themselves deterministic (fixed times, no RNG), so
+    watching does not perturb the run-to-run snapshot gates.
+    """
+
+    def __init__(self, sim: Simulator, services_by_slug: Dict[str, PartnerService]) -> None:
+        self.sim = sim
+        self.services = services_by_slug
+        #: slug -> requests that arrived inside that service's fault windows.
+        self.requests: Dict[str, int] = {}
+        self._window_starts: Dict[str, List[int]] = {}
+
+    def watch(self, plan: FaultPlan) -> None:
+        """Arm edge samplers for every service fault in the plan."""
+        for spec in plan:
+            service = self.services.get(spec.service) if spec.service else None
+            if service is None:
+                continue
+            self.sim.schedule(
+                max(0.0, spec.at - self.sim.now), self._edge, spec.service, service, True,
+                label=f"chaos-window-open:{spec.service}",
+            )
+            self.sim.schedule(
+                max(0.0, spec.end - self.sim.now), self._edge, spec.service, service, False,
+                label=f"chaos-window-close:{spec.service}",
+            )
+
+    def _edge(self, slug: str, service: PartnerService, opening: bool) -> None:
+        served = service.requests_served
+        if opening:
+            self._window_starts.setdefault(slug, []).append(served)
+            return
+        starts = self._window_starts.get(slug)
+        if starts:
+            self.requests[slug] = self.requests.get(slug, 0) + (served - starts.pop(0))
 
 
 @dataclass
@@ -256,6 +336,95 @@ def _replay_report(
     )
 
 
+def _quartile_drift(
+    post: Optional[Tuple[float, float, float]],
+    base: Optional[Tuple[float, float, float]],
+) -> float:
+    """Worst relative quartile deviation (0.0 when either side is unmeasured)."""
+    if post is None or base is None:
+        return 0.0
+    drifts = [abs(p - b) / b for p, b in zip(post, base) if b > 0]
+    return max(drifts) if drifts else 0.0
+
+
+def _delivery_extras(
+    engines: List[IftttEngine], probe_policy: Any = None
+) -> Dict[str, Any]:
+    """Post-run adaptive-delivery readout, folded across engines.
+
+    Stretch factors and ladder levels are max-merged across engines —
+    the same algebra the gauge merge applies to shard-scoped
+    ``degradation_level`` families.  Overload dead letters are counted
+    from the letters themselves (reason ``"overload"``) so the readout
+    is exact even without a :class:`DeliveryController`.  When
+    ``probe_policy`` is the victim applet's live
+    :class:`AdaptiveDeliveryPolicy`, its post-run interval distribution
+    is sampled against its wrapped base policy's — the probes run on a
+    private seeded RNG and touch no metrics, so they cannot perturb the
+    already-taken snapshot.
+    """
+    stretch: Dict[str, float] = {}
+    levels: Dict[str, int] = {}
+    overload: Dict[str, int] = {}
+    for engine in engines:
+        for letter in engine.dead_letters:
+            if letter.reason == "overload":
+                overload[letter.service_slug] = overload.get(letter.service_slug, 0) + 1
+        if engine.delivery is None:
+            continue
+        for slug, health in engine.delivery.healths().items():
+            stretch[slug] = max(stretch.get(slug, 0.0), health.stretch)
+        for slug, level in engine.delivery.levels().items():
+            levels[slug] = max(levels.get(slug, 0), level)
+    extras: Dict[str, Any] = {
+        "post_heal_stretch": stretch,
+        "degradation_levels": levels,
+        "overload_dead_letters_by_service": overload,
+        "post_heal_quartiles": None,
+        "baseline_quartiles": None,
+    }
+    if isinstance(probe_policy, AdaptiveDeliveryPolicy):
+        extras["post_heal_quartiles"] = sampled_interval_quartiles(probe_policy.clone())
+        extras["baseline_quartiles"] = sampled_interval_quartiles(probe_policy.base.clone())
+    return extras
+
+
+def _delivery_summary_lines(result: Any) -> List[str]:
+    """Human-readable lines for the adaptive-delivery readout (shared by
+    :class:`ChaosResult` and :class:`ShardedChaosResult`)."""
+    lines: List[str] = []
+    if result.fault_window_requests:
+        window = " ".join(
+            f"{slug}={count}"
+            for slug, count in sorted(result.fault_window_requests.items())
+        )
+        lines.append(f"  fault-window arrivals: {window}")
+    if result.post_heal_stretch:
+        stretch = " ".join(
+            f"{slug}={value:.2f}"
+            for slug, value in sorted(result.post_heal_stretch.items())
+        )
+        levels = " ".join(
+            f"{slug}={DEGRADATION_LEVEL_NAMES[level]}"
+            for slug, level in sorted(result.degradation_levels.items())
+        )
+        lines.append(f"  delivery: post-heal stretch {stretch}; levels {levels}")
+        if result.overload_dead_letters_by_service:
+            shed = " ".join(
+                f"{slug}={count}"
+                for slug, count in sorted(result.overload_dead_letters_by_service.items())
+            )
+            lines.append(f"  delivery: overload dead letters {shed}")
+        if result.post_heal_quartiles is not None and result.baseline_quartiles is not None:
+            post = "/".join(f"{q:.1f}" for q in result.post_heal_quartiles)
+            base = "/".join(f"{q:.1f}" for q in result.baseline_quartiles)
+            lines.append(
+                f"  delivery: post-heal interval quartiles {post}s "
+                f"(base {base}s, drift {result.post_heal_quartile_drift:.1%})"
+            )
+    return lines
+
+
 @dataclass
 class ChaosResult:
     """Everything a chaos run proves, in one record."""
@@ -277,6 +446,24 @@ class ChaosResult:
     engine_stats: Dict[str, int]
     snapshot: Dict[str, Any] = field(repr=False)
     replay: Optional[ReplayReport] = None
+    #: slug -> requests that arrived inside that service's fault windows
+    #: (sampled exactly by the :class:`_FaultWindowWatcher`).
+    fault_window_requests: Dict[str, int] = field(default_factory=dict)
+    #: Adaptive-delivery readout — empty without a ``delivery=`` policy.
+    post_heal_stretch: Dict[str, float] = field(default_factory=dict)
+    degradation_levels: Dict[str, int] = field(default_factory=dict)
+    overload_dead_letters_by_service: Dict[str, int] = field(default_factory=dict)
+    #: Victim-applet interval quartiles sampled post-run from the live
+    #: adaptive policy vs. its wrapped base — equal (within drift) once
+    #: the stretch has decayed, i.e. the §4 distribution is restored.
+    post_heal_quartiles: Optional[Tuple[float, float, float]] = None
+    baseline_quartiles: Optional[Tuple[float, float, float]] = None
+
+    @property
+    def post_heal_quartile_drift(self) -> float:
+        """Worst relative deviation of the post-heal quartiles from the
+        base policy's (0.0 when the run measured no quartiles)."""
+        return _quartile_drift(self.post_heal_quartiles, self.baseline_quartiles)
 
     @property
     def actions_silently_lost(self) -> int:
@@ -315,6 +502,7 @@ class ChaosResult:
         ]
         if self.replay is not None:
             lines.extend(self.replay.summary_lines())
+        lines.extend(_delivery_summary_lines(self))
         for phase in ("before", "during", "after"):
             values = self.t2a_by_phase.get(phase, [])
             if values:
@@ -342,6 +530,7 @@ class ChaosWorld:
         poll_interval: float = 5.0,
         engine_config: Optional[EngineConfig] = None,
         replay: Optional[ReplayPolicy] = None,
+        delivery: Optional[DeliveryPolicy] = None,
     ) -> None:
         self.seed = seed
         self.sim = Simulator()
@@ -358,6 +547,8 @@ class ChaosWorld:
         )
         if replay is not None:
             config = replace(config, replay_policy=replay)
+        if delivery is not None:
+            config = replace(config, delivery_policy=delivery)
         self.engine = self.network.add_node(IftttEngine(
             Address(ENGINE_HOST), config=config,
             rng=self.rng.fork("engine"), trace=self.trace, service_time=0.0,
@@ -397,6 +588,9 @@ class ChaosWorld:
             rng=self.rng.fork("faults"),
             metrics=self.metrics, trace=self.trace,
         )
+        self.watcher = _FaultWindowWatcher(
+            self.sim, {SENSOR_SLUG: self.sensor, SINK_SLUG: self.sink}
+        )
 
     def schedule_events(self, times: Tuple[float, ...]) -> None:
         """Schedule one sensor event per entry (absolute sim seconds)."""
@@ -413,6 +607,7 @@ class ChaosWorld:
     def run(self, scenario: ChaosScenario, drain: float = DRAIN_SECONDS) -> ChaosResult:
         """Apply the scenario's plan, drive its events, settle, account."""
         self.injector.apply(scenario.plan)
+        self.watcher.watch(scenario.plan)
         self.schedule_events(scenario.event_times)
         until = scenario.horizon + drain
         self.sim.run_until(until)
@@ -431,6 +626,11 @@ class ChaosWorld:
             for at, old, new in breaker.transitions
         )
         stats = engine.stats()
+        snapshot = deterministic_snapshot(self.metrics)
+        extras = _delivery_extras(
+            [engine],
+            probe_policy=engine._applets[self.applet.applet_id].policy,
+        )
         return ChaosResult(
             scenario=scenario.name,
             seed=self.seed,
@@ -447,11 +647,13 @@ class ChaosWorld:
             faults_activated=self.injector.activations,
             faults_deactivated=self.injector.deactivations,
             engine_stats=stats,
-            snapshot=deterministic_snapshot(self.metrics),
+            snapshot=snapshot,
             replay=_replay_report(
                 [engine.replay], until,
                 stats["polls_sent"] + stats["actions_dispatched"],
             ),
+            fault_window_requests=dict(self.watcher.requests),
+            **extras,
         )
 
 
@@ -473,6 +675,7 @@ def run_chaos_scenario(
     poll_interval: float = 5.0,
     drain: float = DRAIN_SECONDS,
     replay: Optional[ReplayPolicy] = None,
+    delivery: Optional[DeliveryPolicy] = None,
 ) -> ChaosResult:
     """Run one chaos scenario end to end and return its accounting.
 
@@ -480,6 +683,9 @@ def run_chaos_scenario(
     schedule is kept), which is how ``--faults PLAN.json`` plugs in.
     ``replay`` enables dead-letter replay with the given policy (see
     ``--replay``); the result then carries a :class:`ReplayReport`.
+    ``delivery`` enables health-aware adaptive delivery (see
+    ``--adaptive``); the result then carries post-heal stretch, ladder
+    levels, and interval-quartile measurements.
     """
     scenario = chaos_scenario(name)
     if plan is not None:
@@ -489,7 +695,9 @@ def run_chaos_scenario(
             event_times=scenario.event_times,
             plan=plan,
         )
-    world = ChaosWorld(seed=seed, poll_interval=poll_interval, replay=replay)
+    world = ChaosWorld(
+        seed=seed, poll_interval=poll_interval, replay=replay, delivery=delivery
+    )
     return world.run(scenario, drain=drain)
 
 
@@ -554,6 +762,24 @@ class ShardedChaosResult:
     snapshot: Dict[str, Any] = field(repr=False)
     merged_engine_snapshot: Dict[str, Any] = field(repr=False)
     replay: Optional[ReplayReport] = None
+    #: slug -> requests that arrived inside that service's fault windows
+    #: (sampled exactly by the :class:`_FaultWindowWatcher`).
+    fault_window_requests: Dict[str, int] = field(default_factory=dict)
+    #: Adaptive-delivery readout, max-merged across shards — empty
+    #: without a ``delivery=`` policy.
+    post_heal_stretch: Dict[str, float] = field(default_factory=dict)
+    degradation_levels: Dict[str, int] = field(default_factory=dict)
+    overload_dead_letters_by_service: Dict[str, int] = field(default_factory=dict)
+    #: Victim-applet interval quartiles sampled post-run from the live
+    #: adaptive policy vs. its wrapped base (victim shard's runtime).
+    post_heal_quartiles: Optional[Tuple[float, float, float]] = None
+    baseline_quartiles: Optional[Tuple[float, float, float]] = None
+
+    @property
+    def post_heal_quartile_drift(self) -> float:
+        """Worst relative deviation of the post-heal quartiles from the
+        base policy's (0.0 when the run measured no quartiles)."""
+        return _quartile_drift(self.post_heal_quartiles, self.baseline_quartiles)
 
     @property
     def shard_silently_lost(self) -> List[int]:
@@ -608,6 +834,7 @@ class ShardedChaosResult:
         ]
         if self.replay is not None:
             lines.extend(self.replay.summary_lines())
+        lines.extend(_delivery_summary_lines(self))
         for shard in range(self.num_shards):
             tag = " (victim)" if shard == self.victim_shard else ""
             per = self.shard_stats[shard]
@@ -652,6 +879,7 @@ class ShardedChaosWorld:
         pairs: int = SHARDED_PAIRS,
         engine_config: Optional[EngineConfig] = None,
         replay: Optional[ReplayPolicy] = None,
+        delivery: Optional[DeliveryPolicy] = None,
     ) -> None:
         self.seed = seed
         self.pairs = pairs
@@ -673,6 +901,7 @@ class ShardedChaosWorld:
             num_shards=num_shards,
             shard_strategy=shard_strategy,
             replay_policy=replay if replay is not None else config.replay_policy,
+            delivery_policy=delivery if delivery is not None else config.delivery_policy,
         )
         self.fleet = ShardedEngine(
             self.network,
@@ -734,6 +963,10 @@ class ShardedChaosWorld:
             rng=self.rng.fork("faults"),
             metrics=self.metrics, trace=self.trace,
         )
+        self.watcher = _FaultWindowWatcher(
+            self.sim,
+            {service.slug: service for service in self.sensors + self.sinks},
+        )
 
     def retarget(self, plan: FaultPlan) -> FaultPlan:
         """An unsharded plan, aimed at the victim pair and shard."""
@@ -761,6 +994,7 @@ class ShardedChaosWorld:
         """Retarget the plan at the victim, drive events, settle, account."""
         plan = self.retarget(scenario.plan)
         self.injector.apply(plan)
+        self.watcher.watch(plan)
         self.schedule_events(scenario.event_times)
         until = scenario.horizon + drain
         self.sim.run_until(until)
@@ -791,6 +1025,13 @@ class ShardedChaosWorld:
             for shard in self.fleet.shards
         )
         fleet_stats = self.fleet.stats()
+        snapshot = deterministic_snapshot(self.metrics)
+        merged = merged_fleet_snapshot(self.metrics.snapshot())
+        victim_engine = self.fleet.shards[self.victim_shard]
+        extras = _delivery_extras(
+            list(self.fleet.shards),
+            probe_policy=victim_engine._applets[self.applets[0].applet_id].policy,
+        )
         return ShardedChaosResult(
             scenario=scenario.name,
             seed=self.seed,
@@ -808,12 +1049,14 @@ class ShardedChaosWorld:
             faults_deactivated=self.injector.deactivations,
             assignments=self.fleet.assignments(),
             shard_loads=self.fleet.shard_loads(),
-            snapshot=deterministic_snapshot(self.metrics),
-            merged_engine_snapshot=merged_fleet_snapshot(self.metrics.snapshot()),
+            snapshot=snapshot,
+            merged_engine_snapshot=merged,
             replay=_replay_report(
                 [shard.replay for shard in self.fleet.shards], until,
                 fleet_stats["polls_sent"] + fleet_stats["actions_dispatched"],
             ),
+            fault_window_requests=dict(self.watcher.requests),
+            **extras,
         )
 
 
@@ -827,6 +1070,7 @@ def run_sharded_chaos_scenario(
     pairs: int = SHARDED_PAIRS,
     drain: float = DRAIN_SECONDS,
     replay: Optional[ReplayPolicy] = None,
+    delivery: Optional[DeliveryPolicy] = None,
 ) -> ShardedChaosResult:
     """Run one chaos scenario against a sharded fleet.
 
@@ -834,7 +1078,9 @@ def run_sharded_chaos_scenario(
     the victim pair automatically) overrides the scenario's built-in
     fault plan, mirroring :func:`run_chaos_scenario`.  ``replay``
     enables shard-local dead-letter replay on every shard; the result
-    then carries a fleet-folded :class:`ReplayReport`.
+    then carries a fleet-folded :class:`ReplayReport`.  ``delivery``
+    enables shard-local adaptive delivery on every shard (victim-shard
+    health stretches; healthy shards stay at baseline).
     """
     scenario = chaos_scenario(name)
     if plan is not None:
@@ -847,6 +1093,6 @@ def run_sharded_chaos_scenario(
     world = ShardedChaosWorld(
         seed=seed, poll_interval=poll_interval,
         num_shards=num_shards, shard_strategy=shard_strategy, pairs=pairs,
-        replay=replay,
+        replay=replay, delivery=delivery,
     )
     return world.run(scenario, drain=drain)

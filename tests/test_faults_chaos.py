@@ -119,7 +119,7 @@ class TestDeterminism:
 
 class TestScenarioRegistry:
     def test_builtin_scenarios_well_formed(self):
-        assert set(CHAOS_SCENARIOS) == {"outage", "partition", "flappy"}
+        assert set(CHAOS_SCENARIOS) == {"outage", "partition", "flappy", "brownout"}
         for scenario in CHAOS_SCENARIOS.values():
             assert scenario.event_times
             assert scenario.plan.specs
