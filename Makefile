@@ -1,11 +1,11 @@
 # Convenience targets for the IFTTT reproduction.
 
-.PHONY: install test test-fast test-shard bench bench-verbose bench-scale examples figures chaos chaos-check replay-check degrade-check clean
+.PHONY: install test test-fast test-shard bench bench-verbose bench-scale bench-push examples figures chaos chaos-check replay-check degrade-check push-check clean
 
 install:
 	pip install -e .
 
-test: replay-check degrade-check bench-scale
+test: replay-check degrade-check push-check bench-scale bench-push
 	pytest tests/
 
 # Tier-1 + obs tests minus the multi-second soak/full-scale/example runs;
@@ -36,6 +36,16 @@ bench-verbose:
 bench-scale:
 	python benchmarks/bench_fleet_scale.py --check BENCH_fleet_scale.json
 	python benchmarks/bench_fleet_scale.py --gate-only
+
+# Push-delivery gate (docs/DELIVERY.md): the committed
+# BENCH_push_scale.json must carry the three-way poll/hint/push T2A
+# comparison at 10K/100K/1M applets and meet the headline — push T2A
+# median under 10 s where polling sits near the paper's 58 s quartile,
+# engine request load cut >=2x.  Regenerate with `python
+# benchmarks/bench_scalability_push.py --output BENCH_push_scale.json`
+# (several minutes; the 1M runs dominate).
+bench-push:
+	python benchmarks/bench_scalability_push.py --check BENCH_push_scale.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo OK; done
@@ -86,6 +96,21 @@ degrade-check:
 	@echo "degrade acceptance + determinism: OK (snapshots byte-identical)"
 	@rm -f .degrade-a.jsonl .degrade-b.jsonl
 
+# Push-delivery determinism + equivalence gate (docs/DELIVERY.md):
+# (a) the same chaos scenario + seed under --delivery push must produce
+# byte-identical metric snapshots, single-engine and sharded; (b) the
+# poll/hint/push equivalence suite must pass across all shard strategies
+# and both poll-dispatch modes.
+push-check:
+	@for n in 1 4; do \
+		python -m repro chaos --scenario outage --seed 7 --shards $$n --delivery push --snapshot .push-a.jsonl > /dev/null || exit 1; \
+		python -m repro chaos --scenario outage --seed 7 --shards $$n --delivery push --snapshot .push-b.jsonl > /dev/null || exit 1; \
+		cmp .push-a.jsonl .push-b.jsonl || exit 1; \
+		echo "push determinism (--shards $$n): OK (snapshots byte-identical)"; \
+	done
+	@rm -f .push-a.jsonl .push-b.jsonl
+	@pytest tests/test_push_equivalence.py -q
+
 clean:
-	rm -rf figures/ .pytest_cache/ src/repro.egg-info/ .chaos-a.jsonl .chaos-b.jsonl .replay-a.jsonl .replay-b.jsonl .degrade-a.jsonl .degrade-b.jsonl
+	rm -rf figures/ .pytest_cache/ src/repro.egg-info/ .chaos-a.jsonl .chaos-b.jsonl .replay-a.jsonl .replay-b.jsonl .degrade-a.jsonl .degrade-b.jsonl .push-a.jsonl .push-b.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -13,6 +13,7 @@ Examples::
     python -m repro chaos --scenario outage --shards 4 --snapshot fleet.jsonl
     python -m repro chaos --scenario outage --replay --snapshot replay.jsonl
     python -m repro chaos --scenario brownout --adaptive
+    python -m repro chaos --scenario outage --delivery push --shards 4
 """
 
 from __future__ import annotations
@@ -189,10 +190,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 args.scenario, seed=args.seed, plan=plan,
                 num_shards=args.shards, shard_strategy=args.shard_strategy,
                 replay=replay_policy, delivery=delivery_policy,
+                delivery_mode=args.delivery,
             )
         return run_chaos_scenario(
             args.scenario, seed=args.seed, plan=plan,
             replay=replay_policy, delivery=delivery_policy,
+            delivery_mode=args.delivery,
         )
 
     result = _run(replay_policies[0], delivery)
@@ -339,6 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--replay-batch-limit", type=int, default=50, metavar="K",
                        help="actions coalesced per batched replay request "
                             "(default 50, the paper's polling limit)")
+    chaos.add_argument("--delivery", default="poll",
+                       choices=("poll", "hint", "push"),
+                       help="how sensor events reach the engine: poll (default), "
+                            "hint (realtime hints, all honoured), or push "
+                            "(payload notifications under the push contract; "
+                            "see docs/DELIVERY.md)")
     chaos.add_argument("--adaptive", action="store_true",
                        help="enable health-aware adaptive delivery, print the "
                             "adaptive-vs-polling comparison table, and enforce "

@@ -32,6 +32,11 @@ behaviour §4 measures:
   adds watermarked admission control and the 4-level degradation
   ladder (``docs/ROBUSTNESS.md``, "Adaptive delivery & degradation
   ladder").
+* :mod:`repro.engine.push` — push-first delivery: the opt-in per-service
+  push contract (payload-carrying ``POST /ifttt/v1/webhooks/push``
+  notifications), engine-side ingestion batching via coalescing drains,
+  and watermarked backpressure that degrades a service push→hint→poll
+  (``docs/DELIVERY.md``).
 * :mod:`repro.engine.replay` — the :class:`ReplayController` that drains
   a healed service's dead letters back through delivery, coalescing
   same-service actions into batched requests (``docs/ROBUSTNESS.md``,
@@ -60,6 +65,14 @@ from repro.engine.delivery import (
     DeliveryPolicy,
     ServiceHealth,
     sampled_interval_quartiles,
+)
+from repro.engine.push import (
+    DELIVERY_MODES,
+    PUSH_RUNG_NAMES,
+    PushController,
+    PushDeliveryPolicy,
+    PushPolicy,
+    PushServiceState,
 )
 from repro.engine.oauth import OAuthAuthority, OAuthGrant
 from repro.engine.engine import IftttEngine, ServiceRegistration
@@ -146,6 +159,12 @@ __all__ = [
     "AdaptiveDeliveryPolicy",
     "DEGRADATION_LEVEL_NAMES",
     "sampled_interval_quartiles",
+    "DELIVERY_MODES",
+    "PUSH_RUNG_NAMES",
+    "PushPolicy",
+    "PushController",
+    "PushDeliveryPolicy",
+    "PushServiceState",
     "POLL_DISPATCH_MODES",
     "HeapPollScheduler",
     "TimerPollScheduler",

@@ -7,6 +7,7 @@ from typing import FrozenSet, Optional
 
 from repro.engine.delivery import DeliveryPolicy
 from repro.engine.poller import PollingPolicy, ProductionPollingPolicy
+from repro.engine.push import PushPolicy
 from repro.engine.resilience import BreakerPolicy, ReplayPolicy, RetryPolicy
 from repro.engine.scheduler import POLL_DISPATCH_MODES
 
@@ -111,6 +112,19 @@ class EngineConfig:
         4-level degradation ladder is exported per service as the
         ``{ns}.degradation_level`` gauge.  See ``docs/ROBUSTNESS.md``
         ("Adaptive delivery & degradation ladder").
+    push_policy:
+        Push-first delivery tunables (``None``, the default, disables
+        push: services keep polling/hint semantics, no push webhook
+        route is registered, and behaviour is byte-identical to the
+        pre-push engine).  When set, the engine builds a
+        :class:`~repro.engine.push.PushController`, registers
+        ``POST /ifttt/v1/webhooks/push``, and accepts the push contract
+        of any service published with ``push=True``: the service then
+        POSTs event payloads directly, the controller coalesces them
+        into batched drains (``batch_window``/``max_batch``), and the
+        watermarked backlog degrades the service push→hint→poll.
+        Applets on contract services poll only at the policy's
+        ``safety_net_interval``.  See ``docs/DELIVERY.md``.
     poll_dispatch:
         How scheduled polls become simulator events — one of
         :data:`~repro.engine.scheduler.POLL_DISPATCH_MODES`.  ``heap``
@@ -140,6 +154,7 @@ class EngineConfig:
     breaker_policy: Optional[BreakerPolicy] = field(default_factory=BreakerPolicy)
     replay_policy: Optional[ReplayPolicy] = None
     delivery_policy: Optional[DeliveryPolicy] = None
+    push_policy: Optional[PushPolicy] = None
     num_shards: int = 1
     shard_strategy: str = "service_hash"
     poll_dispatch: str = "heap"

@@ -34,6 +34,7 @@ from repro.engine.loops import RuntimeLoopDetector, StaticLoopAnalyzer, LoopErro
 from repro.engine.oauth import OAuthAuthority, TokenCache
 from repro.engine.permissions import ServicePermissionModel
 from repro.engine.poller import PollingPolicy
+from repro.engine.push import PushController
 from repro.engine.replay import ReplayController
 from repro.engine.scheduler import make_poll_scheduler
 from repro.engine.resilience import (
@@ -48,6 +49,7 @@ from repro.net.http import HttpNode, HttpRequest, HttpResponse
 from repro.obs.metrics import COUNT_BUCKETS
 from repro.services.partner import (
     ACTION_PATH,
+    PUSH_NOTIFY_PATH,
     QUERY_PATH,
     REALTIME_NOTIFY_PATH,
     TRIGGER_PATH,
@@ -65,6 +67,9 @@ class ServiceRegistration:
     address: Address
     service_key: str
     realtime: bool = False
+    #: The negotiated push contract: the service declared ``push=True``
+    #: *and* this engine's ``EngineConfig.push_policy`` is set.
+    push: bool = False
 
 
 class _AppletRuntime:
@@ -225,6 +230,18 @@ class IftttEngine(HttpNode):
             if self.config.delivery_policy is not None
             else None
         )
+        # Push-first delivery (None unless EngineConfig.push_policy is
+        # set): partner services with an accepted contract POST event
+        # payloads to the push webhook; the controller coalesces them
+        # into batched drains and degrades push→hint→poll per service
+        # under backlog pressure.  When None the webhook route isn't
+        # even registered and the engine is byte-identical to the
+        # pre-push behaviour.
+        self.push: Optional[PushController] = (
+            PushController(self, self.config.push_policy)
+            if self.config.push_policy is not None
+            else None
+        )
         # Poll dispatch: how scheduled polls become simulator events —
         # the heap scheduler (one wake event per engine, batched pops)
         # or the seed per-applet timers.  See repro.engine.scheduler.
@@ -247,6 +264,8 @@ class IftttEngine(HttpNode):
         self._n_events_observed = f"{metrics_namespace}.events_observed"
         self._n_poll_interval = f"{metrics_namespace}.poll_interval_seconds"
         self.add_route("POST", REALTIME_NOTIFY_PATH, self._handle_realtime_hint)
+        if self.push is not None:
+            self.add_route("POST", PUSH_NOTIFY_PATH, self._handle_push_notification)
 
     # -- service publication ------------------------------------------------------
 
@@ -264,15 +283,19 @@ class IftttEngine(HttpNode):
         # stay attributable and individually revocable.
         issuer = "" if self._ns == "engine" else f"{self._ns}-"
         key = f"key-{issuer}{service.slug}-{next(self._key_counter):04d}"
+        # Contract negotiation: the service's push *capability* becomes
+        # an accepted contract only when this engine runs a push policy.
+        push = self.config.push_policy is not None and service.push
         registration = ServiceRegistration(
             slug=service.slug,
             address=service.address,
             service_key=key,
             realtime=service.realtime,
+            push=push,
         )
         self._services[service.slug] = registration
         self._service_objects[service.slug] = service
-        service.published(self.address, key)
+        service.published(self.address, key, push=push)
         self.permissions.register_service(service.slug, service.trigger_slugs, service.action_slugs)
         return key
 
@@ -366,6 +389,12 @@ class IftttEngine(HttpNode):
             # clone around the *shared* per-service health tracker — one
             # applet's failed poll slows every poll aimed at the service.
             policy = self.delivery.wrap(policy, trigger.service_slug)
+        if self.push is not None and self._services[trigger.service_slug].push:
+            # Push contract: pushes deliver the events, so polling drops
+            # to the safety-net cadence — except on the ladder's poll
+            # rung, where the wrapped policy (and through it any
+            # adaptive layer) draws verbatim.
+            policy = self.push.wrap(policy, trigger.service_slug)
         runtime = _AppletRuntime(
             applet=applet,
             policy=policy,
@@ -502,6 +531,18 @@ class IftttEngine(HttpNode):
                     "delivery_overload_dead_letters": 0,
                     "delivery_replay_drains_deferred": 0,
                     "delivery_intervals_stretched": 0,
+                }
+            ),
+            **(
+                self.push.stats()
+                if self.push is not None
+                else {
+                    "push_notifications_received": 0,
+                    "push_events_ingested": 0,
+                    "push_batches_drained": 0,
+                    "push_degraded_to_hint": 0,
+                    "push_shed_to_poll": 0,
+                    "push_notifications_parked": 0,
                 }
             ),
         }
@@ -1154,6 +1195,15 @@ class IftttEngine(HttpNode):
                     )
                     self._fast_poll_identity(identity, delay)
         return {"status": "received"}
+
+    def _handle_push_notification(self, request: HttpRequest):
+        """``POST /ifttt/v1/webhooks/push`` — push-contract ingestion.
+
+        Registered only when :attr:`EngineConfig.push_policy` is set;
+        the :class:`~repro.engine.push.PushController` owns batching,
+        backpressure, and the breaker-open parking fallback.
+        """
+        return self.push.ingest(request.header("service_slug", ""), request)
 
     def _fast_poll_identity(self, identity: str, delay: float = 0.0) -> None:
         for applet_id in self._by_identity.get(identity, ()):

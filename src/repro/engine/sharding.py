@@ -183,17 +183,26 @@ class ShardedEngine:
         return shard
 
     def _retarget_hints(self, slug: str, shard: int) -> None:
-        """Point a service's realtime hints at its (newly pinned) home shard.
+        """Point a service's realtime hints (and push notifications) at
+        its (newly pinned) home shard.
 
         ``popularity_balanced`` only learns a service's home at first
         install, which may be long after publication; re-calling
         :meth:`PartnerService.published` with the home shard's address
-        and key moves the hint target without re-running onboarding.
+        and key moves the hint/push target without re-running
+        onboarding.  The negotiated push contract is re-asserted from
+        the home shard's registration so re-pointing never silently
+        drops it.
         """
         entry = self._published.get(slug)
         if entry is not None:
             service, keys = entry
-            service.published(self.shards[shard].address, keys[shard])
+            home = self.shards[shard]
+            service.published(
+                home.address,
+                keys[shard],
+                push=home.service_registration(slug).push,
+            )
 
     def _shard_for_new_applet(self, trigger_slug: str) -> int:
         if self.strategy == "round_robin":
@@ -224,12 +233,14 @@ class ShardedEngine:
         Every shard may dispatch actions to (or poll triggers of) any
         service, so each shard issues its own key and the service
         accepts them all.  :meth:`PartnerService.published` keeps the
-        *last* publisher as its realtime-hint target, so under
-        ``service_hash`` the home shard publishes last, and under
-        ``popularity_balanced`` the target is re-pointed when the home
-        is pinned at first install (:meth:`_retarget_hints`).  Under
-        ``round_robin`` no shard owns a service; a hint landing on a
-        non-owning shard is a harmless no-op.
+        *last* publisher as its realtime-hint/push-notification target,
+        so under ``service_hash`` the home shard publishes last, and
+        under ``popularity_balanced`` the target is re-pointed when the
+        home is pinned at first install (:meth:`_retarget_hints`).
+        Under ``round_robin`` no shard owns a service; a hint or push
+        landing on a non-owning shard is handled by whichever shard
+        received it (for pushes: ingested for its own applets, or
+        parked on its own breaker when open).
         """
         order = list(range(self.num_shards))
         if self.strategy == "service_hash":

@@ -31,6 +31,10 @@ ACTION_PATH = "/ifttt/v1/actions/"
 QUERY_PATH = "/ifttt/v1/queries/"
 STATUS_PATH = "/ifttt/v1/status"
 REALTIME_NOTIFY_PATH = "/ifttt/v1/webhooks/service/notify"
+#: Push-first delivery (opt-in per-service contract): the service POSTs
+#: trigger-event *payloads* here, not mere identity hints.  The engine
+#: registers the route only when ``EngineConfig.push_policy`` is set.
+PUSH_NOTIFY_PATH = "/ifttt/v1/webhooks/push"
 #: Batched action dispatch (dead-letter replay catch-up).  Longest-prefix
 #: routing keeps it from shadowing single actions under ``ACTION_PATH``.
 BATCH_ACTION_PATH = "/ifttt/v1/actions/batch"
@@ -88,6 +92,13 @@ class PartnerService(HttpNode):
     realtime:
         Whether the service sends realtime hints to the engine on each
         new trigger event.
+    push:
+        Whether the service offers the push-first contract: when the
+        publishing engine accepts it (``EngineConfig.push_policy`` set),
+        each new trigger event is POSTed to the engine *with its
+        payload* (``PUSH_NOTIFY_PATH``) instead of a realtime hint.
+        The capability is a declaration; :attr:`push_contract` records
+        the negotiated outcome.
     service_time:
         Server-side processing delay per HTTP request.
     """
@@ -98,6 +109,7 @@ class PartnerService(HttpNode):
         slug: str,
         trace: Optional[Trace] = None,
         realtime: bool = False,
+        push: bool = False,
         service_time: float = 0.01,
         buffer_capacity: int = 500,
     ) -> None:
@@ -105,6 +117,9 @@ class PartnerService(HttpNode):
         self.slug = slug
         self.trace = trace
         self.realtime = realtime
+        self.push = push
+        #: Set at publication when the engine accepts the push contract.
+        self.push_contract = False
         self.buffer_capacity = buffer_capacity
         self.service_key: Optional[str] = None
         #: Every engine-issued key this service accepts.  A standalone
@@ -125,6 +140,7 @@ class PartnerService(HttpNode):
         self.batch_actions_executed = 0
         self.events_ingested = 0
         self.realtime_hints_sent = 0
+        self.push_notifications_sent = 0
         self.auth_failures = 0
         self.outage = False
         self.requests_rejected_during_outage = 0
@@ -187,18 +203,24 @@ class PartnerService(HttpNode):
 
     # -- platform lifecycle ---------------------------------------------------------
 
-    def published(self, engine_address: Address, service_key: str) -> None:
+    def published(
+        self, engine_address: Address, service_key: str, push: bool = False
+    ) -> None:
         """Callback from the engine when this service is published.
 
         Stores the engine-issued service key (used to authenticate all
         future engine requests) and the engine address (for realtime
-        hints).  Publishing on several engines (one per shard) accretes
-        keys; the *last* publisher becomes the realtime-hint target, so
-        a sharded coordinator publishes the trigger's home shard last.
+        hints and push notifications).  Publishing on several engines
+        (one per shard) accretes keys; the *last* publisher becomes the
+        realtime-hint/push target, so a sharded coordinator publishes
+        the trigger's home shard last.  ``push`` is the negotiated
+        contract outcome: the engine passes ``True`` when its
+        ``push_policy`` is set and this service declared ``push=True``.
         """
         self.engine_address = engine_address
         self.service_key = service_key
         self.service_keys.add(service_key)
+        self.push_contract = push
 
     def grant_token(self, token: str) -> None:
         """Mark an OAuth2 access token as valid for this service."""
@@ -234,9 +256,12 @@ class PartnerService(HttpNode):
     def ingest_event(self, trigger_slug: str, event: Dict[str, Any]) -> int:
         """Route one upstream event into matching identity buffers.
 
-        Returns the number of identities that buffered the event.  When the
-        service is realtime-capable, a hint naming each affected identity
-        is sent to the engine.
+        Returns the number of identities that buffered the event.  Under
+        an accepted push contract each affected identity's fresh event is
+        POSTed to the engine with its payload; otherwise, when the
+        service is realtime-capable, a hint naming each affected
+        identity is sent (push supersedes hint — the payload is a strict
+        superset of the identity list).
         """
         endpoint = self._triggers.get(trigger_slug)
         if endpoint is None:
@@ -247,13 +272,17 @@ class PartnerService(HttpNode):
                 "service.events_ingested", service=self.slug, trigger=trigger_slug
             ).inc()
         affected: List[str] = []
+        pushed: List[Tuple[str, TriggerEvent]] = []
         for identity, (slug, fields, buffer) in self._identities.items():
             if slug != trigger_slug:
                 continue
             if not endpoint.matcher(event, fields):
                 continue
-            buffer.append(TriggerEvent.create(self.now, **endpoint.ingredients(event)))
+            fresh = TriggerEvent.create(self.now, **endpoint.ingredients(event))
+            buffer.append(fresh)
             affected.append(identity)
+            if self.push_contract:
+                pushed.append((identity, fresh))
         if self.trace is not None:
             self.trace.record(
                 self.now,
@@ -262,7 +291,9 @@ class PartnerService(HttpNode):
                 trigger=trigger_slug,
                 identities=len(affected),
             )
-        if affected and self.realtime:
+        if pushed:
+            self._send_push_notification(pushed)
+        elif affected and self.realtime:
             self._send_realtime_hint(affected)
         return len(affected)
 
@@ -274,6 +305,36 @@ class PartnerService(HttpNode):
             self.engine_address,
             REALTIME_NOTIFY_PATH,
             body={"data": [{"trigger_identity": identity} for identity in identities]},
+            headers={"IFTTT-Service-Key": self.service_key, "service_slug": self.slug},
+        )
+
+    def _send_push_notification(
+        self, entries: List[Tuple[str, TriggerEvent]]
+    ) -> None:
+        """POST the fresh events (with payloads) to the contract engine.
+
+        One notification per publication, carrying every affected
+        identity's new event in poll-response wire shape (newest-first
+        within each identity) — the engine ingests them through its
+        dedupe, so a later safety-net poll re-returning the same events
+        cannot double-deliver.
+        """
+        if self.engine_address is None:
+            return
+        self.push_notifications_sent += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service.push_notifications_sent", service=self.slug
+            ).inc()
+        self.post(
+            self.engine_address,
+            PUSH_NOTIFY_PATH,
+            body={
+                "data": [
+                    {"trigger_identity": identity, "events": [event.to_wire()]}
+                    for identity, event in entries
+                ]
+            },
             headers={"IFTTT-Service-Key": self.service_key, "service_slug": self.slug},
         )
 

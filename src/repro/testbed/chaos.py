@@ -67,6 +67,7 @@ from repro.engine.delivery import (
 )
 from repro.engine.engine import IftttEngine
 from repro.engine.oauth import OAuthAuthority
+from repro.engine.push import DELIVERY_MODES, PushDeliveryPolicy, PushPolicy
 from repro.engine.poller import FixedPollingPolicy
 from repro.engine.replay import ReplayController
 from repro.engine.resilience import ReplayPolicy
@@ -102,6 +103,29 @@ CHAOS_USER = "chaos"
 #: breaker recoveries, and buffered events all conclude before the
 #: world's accounting is read.
 DRAIN_SECONDS = 90.0
+
+
+def _apply_delivery_mode(config: EngineConfig, delivery_mode: str) -> EngineConfig:
+    """Rewrite an engine config for one of the three delivery modes.
+
+    ``poll`` leaves the config untouched (the byte-identical default).
+    ``hint`` honours every service's realtime hints
+    (``realtime_allowlist=None``); the world then builds its sensors
+    with ``realtime=True``.  ``push`` installs a default
+    :class:`~repro.engine.push.PushPolicy` (an explicitly configured one
+    wins) and the world builds its sensors with ``push=True``, so the
+    contract negotiates at publication.
+    """
+    if delivery_mode not in DELIVERY_MODES:
+        raise ValueError(
+            f"unknown delivery_mode {delivery_mode!r}; "
+            f"expected one of {DELIVERY_MODES}"
+        )
+    if delivery_mode == "hint":
+        return replace(config, realtime_allowlist=None)
+    if delivery_mode == "push" and config.push_policy is None:
+        return replace(config, push_policy=PushPolicy())
+    return config
 
 
 def _cadence(start: float, stop: float, step: float) -> Tuple[float, ...]:
@@ -383,6 +407,12 @@ def _delivery_extras(
         "post_heal_quartiles": None,
         "baseline_quartiles": None,
     }
+    if isinstance(probe_policy, PushDeliveryPolicy):
+        # Push wraps outermost; the adaptive restoration proof applies to
+        # the policy it wraps (push-mode applets poll at the safety net
+        # while the push rung holds, so their *polling* distribution is
+        # the wrapped policy's).
+        probe_policy = probe_policy.base
     if isinstance(probe_policy, AdaptiveDeliveryPolicy):
         extras["post_heal_quartiles"] = sampled_interval_quartiles(probe_policy.clone())
         extras["baseline_quartiles"] = sampled_interval_quartiles(probe_policy.base.clone())
@@ -531,8 +561,10 @@ class ChaosWorld:
         engine_config: Optional[EngineConfig] = None,
         replay: Optional[ReplayPolicy] = None,
         delivery: Optional[DeliveryPolicy] = None,
+        delivery_mode: str = "poll",
     ) -> None:
         self.seed = seed
+        self.delivery_mode = delivery_mode
         self.sim = Simulator()
         self.rng = Rng(seed=seed, name="chaos")
         self.trace = Trace()
@@ -549,6 +581,7 @@ class ChaosWorld:
             config = replace(config, replay_policy=replay)
         if delivery is not None:
             config = replace(config, delivery_policy=delivery)
+        config = _apply_delivery_mode(config, delivery_mode)
         self.engine = self.network.add_node(IftttEngine(
             Address(ENGINE_HOST), config=config,
             rng=self.rng.fork("engine"), trace=self.trace, service_time=0.0,
@@ -556,6 +589,7 @@ class ChaosWorld:
         self.core = self.network.add_node(GatewayRouter(Address(CORE_HOST)))
         self.sensor = self.network.add_node(PartnerService(
             Address(SENSOR_HOST), slug=SENSOR_SLUG, trace=self.trace, service_time=0.0,
+            realtime=delivery_mode == "hint", push=delivery_mode == "push",
         ))
         self.sink = self.network.add_node(PartnerService(
             Address(SINK_HOST), slug=SINK_SLUG, trace=self.trace, service_time=0.0,
@@ -676,6 +710,7 @@ def run_chaos_scenario(
     drain: float = DRAIN_SECONDS,
     replay: Optional[ReplayPolicy] = None,
     delivery: Optional[DeliveryPolicy] = None,
+    delivery_mode: str = "poll",
 ) -> ChaosResult:
     """Run one chaos scenario end to end and return its accounting.
 
@@ -685,7 +720,10 @@ def run_chaos_scenario(
     ``--replay``); the result then carries a :class:`ReplayReport`.
     ``delivery`` enables health-aware adaptive delivery (see
     ``--adaptive``); the result then carries post-heal stretch, ladder
-    levels, and interval-quartile measurements.
+    levels, and interval-quartile measurements.  ``delivery_mode``
+    selects how sensor events reach the engine — ``poll`` (default),
+    ``hint`` (realtime hints, all honoured), or ``push`` (payload
+    notifications under the push contract; see ``--delivery``).
     """
     scenario = chaos_scenario(name)
     if plan is not None:
@@ -696,7 +734,8 @@ def run_chaos_scenario(
             plan=plan,
         )
     world = ChaosWorld(
-        seed=seed, poll_interval=poll_interval, replay=replay, delivery=delivery
+        seed=seed, poll_interval=poll_interval, replay=replay, delivery=delivery,
+        delivery_mode=delivery_mode,
     )
     return world.run(scenario, drain=drain)
 
@@ -880,8 +919,10 @@ class ShardedChaosWorld:
         engine_config: Optional[EngineConfig] = None,
         replay: Optional[ReplayPolicy] = None,
         delivery: Optional[DeliveryPolicy] = None,
+        delivery_mode: str = "poll",
     ) -> None:
         self.seed = seed
+        self.delivery_mode = delivery_mode
         self.pairs = pairs
         self.sim = Simulator()
         self.rng = Rng(seed=seed, name="chaos")
@@ -903,6 +944,7 @@ class ShardedChaosWorld:
             replay_policy=replay if replay is not None else config.replay_policy,
             delivery_policy=delivery if delivery is not None else config.delivery_policy,
         )
+        config = _apply_delivery_mode(config, delivery_mode)
         self.fleet = ShardedEngine(
             self.network,
             config=config,
@@ -924,6 +966,7 @@ class ShardedChaosWorld:
             sensor = self.network.add_node(PartnerService(
                 Address(f"sensor{pair}.cloud"), slug=f"{SENSOR_SLUG}{pair}",
                 trace=self.trace, service_time=0.0,
+                realtime=delivery_mode == "hint", push=delivery_mode == "push",
             ))
             sensor.add_trigger(TriggerEndpoint(slug="tick", name="Tick"))
             sink = self.network.add_node(PartnerService(
@@ -1071,6 +1114,7 @@ def run_sharded_chaos_scenario(
     drain: float = DRAIN_SECONDS,
     replay: Optional[ReplayPolicy] = None,
     delivery: Optional[DeliveryPolicy] = None,
+    delivery_mode: str = "poll",
 ) -> ShardedChaosResult:
     """Run one chaos scenario against a sharded fleet.
 
@@ -1081,6 +1125,10 @@ def run_sharded_chaos_scenario(
     then carries a fleet-folded :class:`ReplayReport`.  ``delivery``
     enables shard-local adaptive delivery on every shard (victim-shard
     health stretches; healthy shards stay at baseline).
+    ``delivery_mode`` selects poll/hint/push event delivery for every
+    sensor, exactly as in :func:`run_chaos_scenario`; pushes route to
+    each service's last-published shard (the home shard under
+    ``service_hash``).
     """
     scenario = chaos_scenario(name)
     if plan is not None:
@@ -1093,6 +1141,6 @@ def run_sharded_chaos_scenario(
     world = ShardedChaosWorld(
         seed=seed, poll_interval=poll_interval,
         num_shards=num_shards, shard_strategy=shard_strategy, pairs=pairs,
-        replay=replay, delivery=delivery,
+        replay=replay, delivery=delivery, delivery_mode=delivery_mode,
     )
     return world.run(scenario, drain=drain)

@@ -16,12 +16,13 @@ the engine and the trigger service.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from repro.engine.applet import ActionRef, TriggerRef
 from repro.engine.config import EngineConfig
 from repro.engine.engine import IftttEngine
+from repro.engine.push import DELIVERY_MODES, PushPolicy
 from repro.engine.oauth import OAuthAuthority
 from repro.net.address import Address
 from repro.net.latency import cloud_internal_latency
@@ -45,6 +46,10 @@ class FleetResult:
     poll_times: List[float]
     #: Registry snapshot taken at the end of the run (see repro.obs).
     metrics_snapshot: Optional[Dict] = None
+    #: Total engine-originated poll requests over the whole run — the
+    #: steady-state request-load figure the three-way delivery-mode
+    #: comparison reads (available even when tracing is off).
+    polls_sent: int = 0
 
     def peak_polls_per_second(self, window: float = 1.0) -> int:
         """Maximum engine polls in any ``window``-second interval."""
@@ -90,6 +95,7 @@ class FleetWorld:
         n_applets: int,
         engine_config: Optional[EngineConfig] = None,
         realtime: bool = False,
+        push: bool = False,
         seed: int = 5,
         with_trace: bool = True,
         with_metrics: bool = True,
@@ -107,6 +113,13 @@ class FleetWorld:
         ``warmup=False`` leaves the initial polls in the heap so the
         benchmark's timed window includes them.  Defaults preserve the
         original behaviour exactly.
+
+        ``push=True`` publishes the content service under the push
+        contract (see :mod:`repro.engine.push`): a default
+        :class:`~repro.engine.push.PushPolicy` is installed on the
+        engine config if the caller didn't set one, and every
+        publication then POSTs its event payloads directly to the
+        engine instead of waiting for polls.
         """
         self.n_applets = n_applets
         self.sim = Simulator()
@@ -115,16 +128,19 @@ class FleetWorld:
         self.metrics = MetricsRegistry() if with_metrics else None
         self.sim.metrics = self.metrics
         self.network = Network(self.sim, self.rng.fork("net"), metrics=self.metrics)
+        config = engine_config or EngineConfig()
+        if push and config.push_policy is None:
+            config = replace(config, push_policy=PushPolicy())
         self.engine = self.network.add_node(IftttEngine(
             Address("engine.ifttt.cloud"),
-            config=engine_config or EngineConfig(),
+            config=config,
             rng=self.rng.fork("engine"),
             trace=self.trace,
             service_time=0.0,
         ))
         self.content = self.network.add_node(PartnerService(
             Address("content.cloud"), slug="content", trace=self.trace,
-            realtime=realtime, service_time=0.0,
+            realtime=realtime, push=push, service_time=0.0,
         ))
         self.actions_executed = 0
         self.action_times: List[float] = []
@@ -205,6 +221,7 @@ class FleetWorld:
             metrics_snapshot=(
                 self.metrics.snapshot() if self.metrics is not None else None
             ),
+            polls_sent=self.engine.stats()["polls_sent"],
         )
 
 
@@ -213,15 +230,44 @@ def run_fleet_experiment(
     push: bool = False,
     publications: int = 5,
     seed: int = 5,
+    delivery_mode: Optional[str] = None,
 ) -> FleetResult:
-    """Run the NASA-wallpaper fleet under polling or push.
+    """Run the NASA-wallpaper fleet under polling, hints, or push.
 
     ``push=True`` makes the content service realtime-capable *and* the
-    engine honour every hint — the full-push world §6 contemplates.
+    engine honour every hint — the full-push world §6 contemplates
+    (kept for backwards compatibility; equivalent to
+    ``delivery_mode="hint"``).  ``delivery_mode``, when given,
+    supersedes the flag: ``"poll"`` (hints ignored), ``"hint"``
+    (payload-less realtime hints, all honoured), or ``"push"`` (the
+    payload-carrying push contract of :mod:`repro.engine.push` — events
+    arrive without any engine-originated request).
     """
+    mode = delivery_mode if delivery_mode is not None else ("hint" if push else "poll")
+    if mode not in DELIVERY_MODES:
+        raise ValueError(
+            f"unknown delivery_mode {mode!r}; expected one of {DELIVERY_MODES}"
+        )
+    # The push watermarks are per-service provisioning knobs: one
+    # NASA-photo publication fans out to n_applets identities *in a
+    # single notification*, so a fleet-sized burst is the expected
+    # steady state, not overload.  Provision the backlog watermarks (and
+    # the drain batch) to the fleet so the ladder only degrades on
+    # genuinely sustained backlog.
+    push_policy = None
+    if mode == "push":
+        push_policy = PushPolicy(
+            max_batch=200,
+            low_watermark=max(64, n_applets),
+            high_watermark=max(256, 4 * n_applets),
+        )
     config = EngineConfig(
-        realtime_allowlist=None if push else frozenset(),
+        realtime_allowlist=None if mode == "hint" else frozenset(),
         initial_poll_jitter=300.0,
+        push_policy=push_policy,
     )
-    world = FleetWorld(n_applets, engine_config=config, realtime=push, seed=seed)
+    world = FleetWorld(
+        n_applets, engine_config=config,
+        realtime=mode == "hint", push=mode == "push", seed=seed,
+    )
     return world.run_publications(publications=publications)
