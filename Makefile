@@ -1,11 +1,15 @@
 # Convenience targets for the IFTTT reproduction.
 
-.PHONY: install test test-fast test-shard bench bench-verbose bench-scale bench-push examples figures chaos chaos-check replay-check degrade-check push-check clean
+# Make every target work from a bare checkout (no `pip install -e .`
+# needed): prepend the src/ layout to PYTHONPATH for all recipes.
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: install test test-fast test-shard bench bench-verbose bench-scale bench-push examples figures chaos chaos-check replay-check degrade-check push-check experiments-smoke experiments-full ci lint clean
 
 install:
 	pip install -e .
 
-test: replay-check degrade-check push-check bench-scale bench-push
+test: replay-check degrade-check push-check experiments-smoke bench-scale bench-push
 	pytest tests/
 
 # Tier-1 + obs tests minus the multi-second soak/full-scale/example runs;
@@ -111,6 +115,38 @@ push-check:
 	@rm -f .push-a.jsonl .push-b.jsonl
 	@pytest tests/test_push_equivalence.py -q
 
+# Experiment-matrix smoke gate (EXPERIMENTS.md): run the committed
+# smoke spec twice — once subprocess-isolated in parallel, once
+# serially in-process — and require byte-identical results (the
+# determinism artifact CI gates on; run_meta.json carries the wall
+# clock and is excluded).
+experiments-smoke:
+	@python -m repro experiments EXPERIMENTS/matrix_smoke.json --jobs 4 --quiet --output .exp-smoke-a > /dev/null || exit 1
+	@python -m repro experiments EXPERIMENTS/matrix_smoke.json --in-process --quiet --output .exp-smoke-b > /dev/null || exit 1
+	@diff -r -q -x run_meta.json .exp-smoke-a .exp-smoke-b || { echo "experiments-smoke: DRIFT (results differ run over run)"; exit 1; }
+	@echo "experiments-smoke: OK (results byte-identical, jobs/in-process equivalent)"
+	@rm -rf .exp-smoke-a .exp-smoke-b
+
+# The full nightly matrix (38 cells; a few minutes). Results land in
+# experiment-results/ — results.txt is the human table.
+experiments-full:
+	python -m repro experiments EXPERIMENTS/matrix_full.json --jobs 8 --output experiment-results
+
+# Lint gate: ruff when installed (CI installs it), else the repo-local
+# offline fallback (tools/lint.py) so the gate runs in hermetic
+# environments too. Both read ruff.toml.
+lint:
+	@if command -v ruff > /dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "ruff not installed; running tools/lint.py fallback"; \
+		python tools/lint.py; \
+	fi
+
+# What CI runs on every push/PR: lint, the tier-1 fast suite, and the
+# experiment smoke gate — no multi-minute bench regeneration.
+ci: lint test-fast experiments-smoke
+
 clean:
-	rm -rf figures/ .pytest_cache/ src/repro.egg-info/ .chaos-a.jsonl .chaos-b.jsonl .replay-a.jsonl .replay-b.jsonl .degrade-a.jsonl .degrade-b.jsonl .push-a.jsonl .push-b.jsonl
+	rm -rf figures/ .pytest_cache/ src/repro.egg-info/ .chaos-a.jsonl .chaos-b.jsonl .replay-a.jsonl .replay-b.jsonl .degrade-a.jsonl .degrade-b.jsonl .push-a.jsonl .push-b.jsonl .exp-smoke-a .exp-smoke-b experiment-results/
 	find . -name __pycache__ -type d -exec rm -rf {} +

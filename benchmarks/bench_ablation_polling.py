@@ -68,8 +68,12 @@ def test_bench_ablation_polling(benchmark):
                      round(polls_per_hour, 1)])
     print(render_table(["engine", "median T2A (s)", "max T2A (s)", "polls/hour"], rows))
 
-    median = lambda name: summarize_latencies(results[name][0])["p50"]
-    polls = lambda name: results[name][1]
+    def median(name):
+        return summarize_latencies(results[name][0])["p50"]
+
+    def polls(name):
+        return results[name][1]
+
     # E3 and push are both fast; push achieves it with far less polling.
     assert median("fixed-1s (E3)") < 5.0
     assert median("push (hints honoured)") < 5.0

@@ -28,7 +28,9 @@ def test_bench_fig5(benchmark):
               f"p75={stats['p75']:.2f}s max={stats['max']:.2f}s")
     print("paper: E1 ~ E2 (minutes, poll-bound); E3 ~ 1-2 s")
 
-    median = lambda xs: sorted(xs)[len(xs) // 2]
+    def median(xs):
+        return sorted(xs)[len(xs) // 2]
+
     e1, e2, e3 = (median(results[n]) for n in ("E1", "E2", "E3"))
     assert 0.3 < e1 / e2 < 3.0     # E1 and E2 similar
     assert e3 < 5.0                 # E3 in seconds

@@ -80,7 +80,9 @@ def _quartiles(values):
     ordered = sorted(values)
     if not ordered:
         return None
-    pick = lambda q: ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+    def pick(q):
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
     return [round(pick(0.25), 3), round(pick(0.5), 3), round(pick(0.75), 3)]
 
 

@@ -277,6 +277,54 @@ def _cmd_export_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentSpecError, expand_cells, load_spec
+    from repro.experiments.runner import MatrixRunError, run_cell_to_file, run_matrix
+    from repro.reporting import render_experiment_table
+
+    try:
+        spec = load_spec(args.spec)
+    except ExperimentSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    cells = expand_cells(spec)
+    if args.list:
+        print(f"spec {spec.name!r}: {len(cells)} cells (sha256 {spec.sha256[:12]})")
+        for cell in cells:
+            print(f"  [{cell.index:4d}] {cell.sweep.name} ({cell.sweep.kind}): {cell.label()}")
+        return 0
+
+    if args.cell is not None:
+        try:
+            path = run_cell_to_file(spec, args.cell, args.output)
+        except IndexError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(path)
+        return 0
+
+    def _progress(index: int, cell) -> None:
+        print(f"  cell {index:4d}/{len(cells) - 1} done: "
+              f"{cell.sweep.name} {cell.label()}")
+
+    try:
+        results = run_matrix(
+            spec,
+            spec_path=args.spec,
+            output_dir=args.output,
+            jobs=args.jobs,
+            isolate=not args.in_process,
+            progress=_progress if not args.quiet else None,
+        )
+    except MatrixRunError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_experiment_table(results.to_dict()))
+    print(f"results: {args.output}/results.json")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -360,6 +408,27 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--metrics", metavar="PATH",
                        help="write the run's metrics report as JSON lines")
     chaos.set_defaults(func=_cmd_chaos)
+
+    experiments = sub.add_parser(
+        "experiments", help="run a declarative experiment matrix (EXPERIMENTS/*.json)"
+    )
+    experiments.add_argument("spec", metavar="SPEC.json",
+                             help="experiment matrix spec (see EXPERIMENTS.md)")
+    experiments.add_argument("--cell", type=int, metavar="I",
+                             help="run only cell I and write its artifact "
+                                  "(what the orchestrator's subprocesses call)")
+    experiments.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="cells to run concurrently (default 1)")
+    experiments.add_argument("--output", default="experiment-results", metavar="DIR",
+                             help="output directory (default experiment-results)")
+    experiments.add_argument("--in-process", action="store_true",
+                             help="run cells serially in this interpreter instead "
+                                  "of one subprocess per cell")
+    experiments.add_argument("--list", action="store_true",
+                             help="print the expanded cell list and exit")
+    experiments.add_argument("--quiet", action="store_true",
+                             help="suppress per-cell progress lines")
+    experiments.set_defaults(func=_cmd_experiments)
 
     decompose = sub.add_parser("decompose", help="T2A latency stage decomposition")
     decompose.add_argument("--runs", type=int, default=15)

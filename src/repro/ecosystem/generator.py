@@ -181,12 +181,14 @@ class EcosystemGenerator:
         if kind == "trigger":
             total = self.params.n_triggers
             existing = sum(len(s.triggers) for s in services)
-            cat_weight = lambda cat: cat.trigger_ac_pct + 1.0
+            def cat_weight(cat):
+                return cat.trigger_ac_pct + 1.0
             growth_key = "triggers"
         else:
             total = self.params.n_actions
             existing = sum(len(s.actions) for s in services)
-            cat_weight = lambda cat: cat.action_ac_pct + 0.5
+            def cat_weight(cat):
+                return cat.action_ac_pct + 0.5
             growth_key = "actions"
 
         # Baseline: one endpoint per service (actions skipped for

@@ -73,7 +73,7 @@ See ``docs/ROBUSTNESS.md`` ("Adaptive delivery & degradation ladder").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.engine.poller import PollingPolicy
 from repro.engine.resilience import BreakerState

@@ -68,7 +68,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, Optional, Tuple
 
 from repro.engine.poller import PollingPolicy
 from repro.obs.metrics import COUNT_BUCKETS

@@ -39,7 +39,7 @@ retry queue); they stay sealed in the sink.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.engine.resilience import DeadLetter, PendingAction, ReplayPolicy
 from repro.net.http import HttpResponse

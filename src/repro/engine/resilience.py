@@ -26,7 +26,7 @@ See ``docs/ROBUSTNESS.md`` for the full semantics.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.simcore.rng import Rng

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 SERVICE_OUTAGE = "service_outage"
 SERVICE_BROWNOUT = "service_brownout"

@@ -264,12 +264,13 @@ class HttpNode(Node):
                 metrics.counter(
                     "http.responses", status_class=f"{response.status // 100}xx"
                 ).inc()
-            reply = lambda: self.send(
-                message.src,
-                HTTP_PROTOCOL,
-                {"type": "response", "response": response},
-                size_bytes=max(128, message.size_bytes // 2),
-            )
+            def reply() -> None:
+                self.send(
+                    message.src,
+                    HTTP_PROTOCOL,
+                    {"type": "response", "response": response},
+                    size_bytes=max(128, message.size_bytes // 2),
+                )
             if self.service_time > 0:
                 self.sim.schedule(self.service_time, reply, label="http-service")
             else:

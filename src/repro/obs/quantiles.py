@@ -24,7 +24,7 @@ O(1/sqrt(k)) rank noise; the tests use the same 0.05 bound at k = 1024.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.simcore.rng import Rng, quantiles as exact_quantiles
 

@@ -17,6 +17,11 @@ from repro.reporting.metrics_report import (
     render_metrics_summary,
     write_metrics_json,
 )
+from repro.reporting.experiment_report import (
+    experiment_fault_comparison,
+    render_experiment_json,
+    render_experiment_table,
+)
 from repro.reporting.replay_report import render_replay_comparison
 from repro.reporting.adaptive_report import (
     adaptive_delivery_violations,
@@ -25,6 +30,9 @@ from repro.reporting.adaptive_report import (
 
 __all__ = [
     "render_table",
+    "render_experiment_table",
+    "render_experiment_json",
+    "experiment_fault_comparison",
     "render_replay_comparison",
     "render_adaptive_comparison",
     "adaptive_delivery_violations",

@@ -17,7 +17,7 @@ implicit-loop findings and to ablate the paper's §6 recommendation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Tuple
 
 #: An abstract resource affected by an action or observed by a trigger.
 Channel = Tuple[str, str]
@@ -46,6 +46,18 @@ def _no_channels(fields: Dict[str, Any]) -> FrozenSet[Channel]:
     return frozenset()
 
 
+def _identity_ingredients(event: Dict[str, Any]) -> Dict[str, Any]:
+    return dict(event)
+
+
+def _no_op_executor(fields: Dict[str, Any]) -> None:
+    return None
+
+
+def _empty_rows(fields: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return []
+
+
 @dataclass
 class TriggerEndpoint:
     """A trigger exposed by a partner service.
@@ -70,7 +82,7 @@ class TriggerEndpoint:
     slug: str
     name: str
     matcher: Matcher = match_all
-    ingredients: IngredientExtractor = lambda event: dict(event)
+    ingredients: IngredientExtractor = _identity_ingredients
     reads_channels: ChannelFn = _no_channels
 
     def __post_init__(self) -> None:
@@ -95,7 +107,7 @@ class ActionEndpoint:
 
     slug: str
     name: str
-    executor: Executor = lambda fields: None
+    executor: Executor = _no_op_executor
     writes_channels: ChannelFn = _no_channels
 
     def __post_init__(self) -> None:
@@ -115,7 +127,7 @@ class QueryEndpoint:
 
     slug: str
     name: str
-    executor: Callable[[Dict[str, Any]], Any] = lambda fields: []
+    executor: Callable[[Dict[str, Any]], Any] = _empty_rows
     reads_channels: ChannelFn = _no_channels
 
     def __post_init__(self) -> None:

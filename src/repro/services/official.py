@@ -30,7 +30,6 @@ from repro.services.endpoints import (
     QueryEndpoint,
     TriggerEndpoint,
     field_channel,
-    match_fields_subset,
     static_channels,
 )
 from repro.services.partner import PartnerService

@@ -10,7 +10,7 @@ a thin wrapper pinning its historical seeds (timing- and jitter-exact
 assertions depend on them).
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.engine import (

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.crawler import (
-    CrawlSnapshot,
     IftttCrawler,
     ParseError,
     SnapshotStore,

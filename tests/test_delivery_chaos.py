@@ -29,7 +29,6 @@ from repro.reporting.adaptive_report import (
 from repro.simcore.rng import quantiles
 from repro.testbed.chaos import (
     SENSOR_SLUG,
-    SINK_SLUG,
     ChaosWorld,
     chaos_scenario,
     run_chaos_scenario,

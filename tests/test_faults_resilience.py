@@ -6,7 +6,6 @@ from repro.engine import (
     BreakerPolicy,
     BreakerState,
     CircuitBreaker,
-    FixedPollingPolicy,
     RetryPolicy,
 )
 from repro.net.http import HttpError

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.permissions_study import (
-    PermissionStudyResult,
     run_permission_study,
     scope_universe,
 )

@@ -319,7 +319,9 @@ class TestDegradedPushRestoration:
         ))
         controller = engine.push
         state = controller.state_for("svc")
-        wire = lambda k: {"meta": {"id": f"e{k}", "timestamp": 0}, "n": k}
+        def wire(k):
+            return {"meta": {"id": f"e{k}", "timestamp": 0}, "n": k}
+
         for k in range(12):
             controller._admit(state, "identity", wire(k))
         # 0..3 admitted at push, 4..7 degraded (backlog in [low, high)),

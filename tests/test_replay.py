@@ -18,13 +18,12 @@ from hypothesis import strategies as st
 from repro.engine import (
     BreakerPolicy,
     BreakerState,
-    EngineConfig,
     FixedPollingPolicy,
     ReplayPolicy,
     RetryPolicy,
 )
 from repro.net.http import HttpError
-from repro.services.partner import BATCH_ACTION_PATH, BatchActionRequest
+from repro.services.partner import BatchActionRequest
 from repro.testbed.chaos import run_chaos_scenario, run_sharded_chaos_scenario
 
 from tests.helpers import build_engine_world, default_engine_config, install_ping_applet

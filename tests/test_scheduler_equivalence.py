@@ -34,7 +34,6 @@ from repro.engine.engine import _AppletRuntime
 from repro.engine.applet import Applet
 from repro.engine.oauth import OAuthAuthority
 from repro.engine.scheduler import (
-    COMPACT_MIN_ENTRIES,
     HeapPollScheduler,
     POLL_DISPATCH_MODES,
     TimerPollScheduler,

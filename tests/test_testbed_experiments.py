@@ -45,7 +45,9 @@ class TestScenarios:
         e1 = run_scenario_t2a("E1", runs=8, seed=6)
         e2 = run_scenario_t2a("E2", runs=8, seed=7)
         e3 = run_scenario_t2a("E3", runs=8, seed=8, spacing=20.0)
-        median = lambda xs: sorted(xs)[len(xs) // 2]
+        def median(xs):
+            return sorted(xs)[len(xs) // 2]
+
         assert median(e3) < median(e1) / 10
         assert median(e3) < median(e2) / 10
         assert 0.3 < median(e1) / median(e2) < 3.0  # E1 ~ E2
