@@ -4,12 +4,12 @@
 # needed): prepend the src/ layout to PYTHONPATH for all recipes.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test test-fast test-shard bench bench-verbose bench-scale bench-push examples figures chaos chaos-check replay-check degrade-check push-check experiments-smoke experiments-full ci lint clean
+.PHONY: install test test-fast test-shard bench bench-verbose bench-scale bench-push examples figures chaos chaos-check replay-check degrade-check push-check parallel-check experiments-smoke experiments-full ci lint clean
 
 install:
 	pip install -e .
 
-test: replay-check degrade-check push-check experiments-smoke bench-scale bench-push
+test: replay-check degrade-check push-check parallel-check experiments-smoke bench-scale bench-push
 	pytest tests/
 
 # Tier-1 + obs tests minus the multi-second soak/full-scale/example runs;
@@ -115,6 +115,20 @@ push-check:
 	@rm -f .push-a.jsonl .push-b.jsonl
 	@pytest tests/test_push_equivalence.py -q
 
+# Parallel-stepping equivalence gate (docs/SHARDING.md, "Parallel
+# stepping & epoch barriers"): serial (--jobs 1) and threaded (--jobs 4)
+# epoch stepping of the same sharded chaos scenario must produce
+# byte-identical metric snapshots (--parallel needs --shards >= 2), and
+# the serial-vs-parallel equivalence suite must pass across shard
+# strategies and poll-dispatch modes.
+parallel-check:
+	@python -m repro chaos --scenario outage --seed 7 --shards 4 --parallel --jobs 1 --snapshot .par-a.jsonl > /dev/null || exit 1
+	@python -m repro chaos --scenario outage --seed 7 --shards 4 --parallel --jobs 4 --snapshot .par-b.jsonl > /dev/null || exit 1
+	@cmp .par-a.jsonl .par-b.jsonl || exit 1
+	@echo "parallel determinism: OK (jobs=1 vs jobs=4 snapshots byte-identical)"
+	@rm -f .par-a.jsonl .par-b.jsonl
+	@pytest tests/test_parallel_equivalence.py tests/test_simcore_parallel.py -q
+
 # Experiment-matrix smoke gate (EXPERIMENTS.md): run the committed
 # smoke spec twice — once subprocess-isolated in parallel, once
 # serially in-process — and require byte-identical results (the
@@ -148,5 +162,5 @@ lint:
 ci: lint test-fast experiments-smoke
 
 clean:
-	rm -rf figures/ .pytest_cache/ src/repro.egg-info/ .chaos-a.jsonl .chaos-b.jsonl .replay-a.jsonl .replay-b.jsonl .degrade-a.jsonl .degrade-b.jsonl .push-a.jsonl .push-b.jsonl .exp-smoke-a .exp-smoke-b experiment-results/
+	rm -rf figures/ .pytest_cache/ src/repro.egg-info/ .chaos-a.jsonl .chaos-b.jsonl .replay-a.jsonl .replay-b.jsonl .degrade-a.jsonl .degrade-b.jsonl .push-a.jsonl .push-b.jsonl .par-a.jsonl .par-b.jsonl .exp-smoke-a .exp-smoke-b experiment-results/
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -157,6 +157,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.parallel and args.shards < 2:
+        print("--parallel requires --shards >= 2", file=sys.stderr)
+        return 2
     if args.replay_batch_limit < 1:
         print(f"--replay-batch-limit must be >= 1, got {args.replay_batch_limit}",
               file=sys.stderr)
@@ -191,6 +197,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 num_shards=args.shards, shard_strategy=args.shard_strategy,
                 replay=replay_policy, delivery=delivery_policy,
                 delivery_mode=args.delivery,
+                parallel=args.parallel, jobs=args.jobs,
             )
         return run_chaos_scenario(
             args.scenario, seed=args.seed, plan=plan,
@@ -384,6 +391,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--shard-strategy", default="service_hash",
                        choices=("service_hash", "round_robin", "popularity_balanced"),
                        help="applet-to-shard assignment strategy (see docs/SHARDING.md)")
+    chaos.add_argument("--parallel", action="store_true",
+                       help="step shards on per-shard simulators with epoch "
+                            "barriers (requires --shards >= 2; byte-identical "
+                            "snapshots for any --jobs; see docs/SHARDING.md)")
+    chaos.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker threads for --parallel epoch stepping "
+                            "(default 1 = serial stepping of the same world)")
     chaos.add_argument("--replay", action="store_true",
                        help="enable dead-letter replay on heal and report the "
                             "catch-up burst, batched vs unbatched")

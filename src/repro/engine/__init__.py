@@ -75,7 +75,11 @@ from repro.engine.push import (
     PushServiceState,
 )
 from repro.engine.oauth import OAuthAuthority, OAuthGrant
-from repro.engine.engine import IftttEngine, ServiceRegistration
+from repro.engine.engine import (
+    AppletIdRangeError,
+    IftttEngine,
+    ServiceRegistration,
+)
 from repro.engine.permissions import (
     Scope,
     ServicePermissionModel,
@@ -134,6 +138,7 @@ __all__ = [
     "AdaptivePollingPolicy",
     "OAuthAuthority",
     "OAuthGrant",
+    "AppletIdRangeError",
     "IftttEngine",
     "ServiceRegistration",
     "Scope",

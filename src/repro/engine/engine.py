@@ -59,6 +59,17 @@ from repro.simcore.rng import Rng
 from repro.simcore.trace import Trace
 
 
+class AppletIdRangeError(RuntimeError):
+    """An engine tried to allocate an applet id outside its shard range.
+
+    Shard id ranges are disjoint by construction
+    (:data:`~repro.engine.sharding.APPLET_ID_STRIDE` or the corpus-derived
+    stride); silently crossing into a neighbour's range would make
+    ``ShardedEngine.engine_for()`` route lifecycle calls to the wrong
+    shard, so the overflow is an error at install time.
+    """
+
+
 @dataclass
 class ServiceRegistration:
     """A published partner service, as the engine sees it."""
@@ -149,6 +160,7 @@ class IftttEngine(HttpNode):
         metrics=None,
         metrics_namespace: str = "engine",
         applet_id_start: int = 100000,
+        applet_id_limit: Optional[int] = None,
     ) -> None:
         super().__init__(address, service_time=service_time)
         self.config = config or EngineConfig()
@@ -170,7 +182,13 @@ class IftttEngine(HttpNode):
         self._by_identity: Dict[str, List[int]] = {}
         # Shards carve out disjoint id ranges via applet_id_start, so a
         # fleet-wide applet id never collides across engines.
+        # applet_id_limit caps how many ids this engine may allocate:
+        # exceeding it would bleed into the next shard's range and make
+        # ShardedEngine.engine_for() misroute lifecycle calls, so the
+        # overflow fails loudly instead (AppletIdRangeError).
         self._applet_ids = itertools.count(applet_id_start)
+        self._applet_id_start = applet_id_start
+        self._applet_id_limit = applet_id_limit
         self._key_counter = itertools.count(1)
         self.loop_detector = RuntimeLoopDetector(
             threshold=self.config.runtime_loop_threshold,
@@ -365,8 +383,21 @@ class IftttEngine(HttpNode):
             if slug not in self._services:
                 raise KeyError(f"service {slug!r} is not published")
         filter_expr = parse_filter(filter_code) if filter_code is not None else None
+        applet_id = next(self._applet_ids)
+        if (
+            self._applet_id_limit is not None
+            and applet_id >= self._applet_id_start + self._applet_id_limit
+        ):
+            raise AppletIdRangeError(
+                f"engine {self.address} exhausted its applet-id range "
+                f"[{self._applet_id_start}, "
+                f"{self._applet_id_start + self._applet_id_limit}): installing "
+                f"applet #{applet_id} would collide with the next shard's "
+                "range; raise the shard stride (ShardedEngine expected_applets "
+                "/ applet_id_stride) or add shards"
+            )
         applet = Applet(
-            applet_id=next(self._applet_ids),
+            applet_id=applet_id,
             name=name,
             user=user,
             trigger=trigger,

@@ -65,9 +65,29 @@ from repro.simcore.rng import Rng
 from repro.simcore.trace import Trace
 
 #: Disjoint applet-id ranges per shard: shard ``i`` allocates ids from
-#: ``100000 + i * APPLET_ID_STRIDE``.  A shard would need to install
-#: 100k applets to collide with its neighbour — far beyond any testbed.
+#: ``100000 + i * stride``.  This is the *floor* stride; a fleet built
+#: with ``expected_applets`` derives a stride wide enough for its whole
+#: corpus to land on one shard (the worst-case hash skew), and every
+#: shard engine enforces its range with
+#: :class:`~repro.engine.engine.AppletIdRangeError` instead of silently
+#: bleeding into its neighbour's ids.
 APPLET_ID_STRIDE = 100000
+
+
+def derive_applet_id_stride(expected_applets: Optional[int]) -> int:
+    """The per-shard applet-id range width for a corpus of the given size.
+
+    The next power of ten at or above ``expected_applets`` (floored at
+    :data:`APPLET_ID_STRIDE`): under ``service_hash`` a heavy-tailed
+    corpus can land almost entirely on one shard, so the stride must
+    cover the *whole* corpus, not ``corpus / num_shards``.  Powers of
+    ten keep shard ids readable (``engine_for`` is a subtraction away).
+    """
+    stride = APPLET_ID_STRIDE
+    if expected_applets is not None:
+        while stride < expected_applets:
+            stride *= 10
+    return stride
 
 #: Default shard host pattern; ``{shard}`` is the shard index.
 DEFAULT_HOST_PATTERN = "engine{shard}.ifttt.cloud"
@@ -116,6 +136,8 @@ class ShardedEngine:
         host_pattern: str = DEFAULT_HOST_PATTERN,
         service_time: float = 0.01,
         metrics=None,
+        expected_applets: Optional[int] = None,
+        applet_id_stride: Optional[int] = None,
     ) -> None:
         self.config = config or EngineConfig()
         self.num_shards = self.config.num_shards if num_shards is None else num_shards
@@ -127,7 +149,32 @@ class ShardedEngine:
                 f"unknown shard strategy {self.strategy!r}; "
                 f"expected one of {SHARD_STRATEGIES}"
             )
-        self.network = network
+        # `network` is either one shared Network (the classic single-sim
+        # fleet) or one Network per shard (epoch-stepped worlds on a
+        # ShardedSimulator, where each shard's nodes live on its own
+        # simulator — see repro.simcore.parallel and docs/SHARDING.md).
+        if isinstance(network, (list, tuple)):
+            if len(network) != self.num_shards:
+                raise ValueError(
+                    f"got {len(network)} shard networks for "
+                    f"{self.num_shards} shards"
+                )
+            self.networks = list(network)
+            self.network = None
+        else:
+            self.networks = [network] * self.num_shards
+            self.network = network
+        #: Width of each shard's disjoint applet-id range; ids are
+        #: enforced against it at install time (AppletIdRangeError).
+        self.applet_id_stride = (
+            applet_id_stride
+            if applet_id_stride is not None
+            else derive_applet_id_stride(expected_applets)
+        )
+        if self.applet_id_stride < 1:
+            raise ValueError(
+                f"applet_id_stride must be >= 1, got {self.applet_id_stride}"
+            )
         self.rng = rng or Rng(seed=0, name="sharded-engine")
         self.trace = trace
         self.shards: List[IftttEngine] = []
@@ -147,9 +194,10 @@ class ShardedEngine:
                 service_time=service_time,
                 metrics=metrics,
                 metrics_namespace=f"engine.shard{index}",
-                applet_id_start=100000 + index * APPLET_ID_STRIDE,
+                applet_id_start=100000 + index * self.applet_id_stride,
+                applet_id_limit=self.applet_id_stride,
             )
-            network.add_node(shard)
+            self.networks[index].add_node(shard)
             self.shards.append(shard)
         #: Sticky trigger-service -> shard assignment (service_hash and
         #: popularity_balanced; round_robin assigns per applet).

@@ -7,7 +7,7 @@ from typing import Dict, FrozenSet, List, Optional
 
 from repro.net.address import Address
 from repro.net.link import Link
-from repro.net.latency import LatencyModel
+from repro.net.latency import LatencyModel, cloud_internal_latency
 from repro.net.message import Message
 from repro.net.node import Node
 from repro.simcore.rng import Rng
@@ -42,6 +42,16 @@ class Network:
         #: ``None`` (the default) keeps transmission on the exact
         #: fault-free fast path.
         self.faults = None
+        #: Optional :class:`CrossShardRouter` for sharded worlds whose
+        #: shards run on separate simulators: messages addressed outside
+        #: this network are handed to it instead of raising.  ``None``
+        #: (the default) keeps single-world routing untouched.
+        self.router = None
+        #: The address cross-shard traffic exits through (the shard's
+        #: core/uplink) when a router is attached.  Reachability to the
+        #: gateway gates cross-shard sends, so an engine partitioned from
+        #: its core cannot reach remote shards either.
+        self.gateway: Optional[Address] = None
         self._nodes: Dict[Address, Node] = {}
         self._links: Dict[FrozenSet[Address], Link] = {}
         self._adjacency: Dict[Address, List[Link]] = {}
@@ -166,6 +176,9 @@ class Network:
         timeout semantics: the message silently vanishes mid-path.
         """
         if message.dst not in self._nodes:
+            if self.router is not None:
+                self.router.transmit(self, message)
+                return
             raise KeyError(f"message to unregistered address {message.dst}")
         try:
             if self.faults is None:
@@ -213,6 +226,49 @@ class Network:
             total += delay
         return total
 
+    def _ingress(self, message: Message) -> None:
+        """Final intra-shard leg of a cross-shard delivery (gateway → dst).
+
+        Runs on *this* network's simulator at the message's cross-shard
+        arrival time, so the gateway→destination route is evaluated
+        against the destination shard's live fault state: a destination
+        partitioned from its own gateway loses inbound cross-shard
+        traffic mid-path (the remote sender discovers it via timeout,
+        exactly like in-flight loss — there is no synchronous
+        connection-refused across shards).
+        """
+        gateway = self.gateway
+        if gateway is None or message.dst == gateway:
+            self._deliver(message)
+            return
+        try:
+            path = self.route(gateway, message.dst)
+        except RoutingError:
+            self.messages_dropped += 1
+            if self.metrics is not None:
+                self.metrics.counter("net.messages_dropped").inc()
+            return
+        faults = self.faults
+        total = 0.0
+        for link in path:
+            delay = link.sample_delay(self.rng, message.size_bytes)
+            if faults is not None:
+                delay, dropped = faults.adjust(link, delay)
+                if dropped:
+                    self.messages_dropped += 1
+                    if self.metrics is not None:
+                        self.metrics.counter("net.messages_dropped").inc()
+                        self.metrics.counter("net.messages_lost").inc()
+                    return
+            total += delay
+        if total > 0.0:
+            self.sim.schedule(
+                total, self._deliver, message,
+                label=f"deliver#{message.msg_id}",
+            )
+        else:
+            self._deliver(message)
+
     def _deliver(self, message: Message) -> None:
         self.messages_delivered += 1
         metrics = self.metrics
@@ -226,3 +282,127 @@ class Network:
 
     def __repr__(self) -> str:
         return f"<Network nodes={len(self._nodes)} links={len(self._links)}>"
+
+
+class CrossShardRouter:
+    """Mailbox routing between shard-local networks on separate simulators.
+
+    In an epoch-stepped sharded world
+    (:class:`~repro.simcore.parallel.ShardedSimulator`) every shard owns
+    a private :class:`Network`; a message addressed to a node in another
+    shard cannot be scheduled into that shard's heap directly — a shard
+    thread must never touch a neighbour's state.  Instead the source
+    network hands the message here and it crosses through the stepper's
+    per-shard mailbox, drained at the next epoch barrier:
+
+    * the **source side** is charged the real topology cost: the sampled
+      per-link delay from the sender to the shard's :attr:`Network.gateway`
+      (so a shard partitioned from its core is connection-refused on
+      cross-shard sends too, exactly like local ones) plus one sampled
+      cross-shard hop;
+    * the cross-shard hop is **floored at the stepper's lookahead**,
+      which is the conservative guarantee that makes the epoch width
+      safe: a message sent at ``s ≥ t`` in epoch ``[t, t+L)`` always
+      delivers at ``s + hop ≥ t + L``, i.e. at or after the barrier;
+    * every delay is sampled from the *source* shard's network RNG, so
+      the draw order per shard — and therefore the whole fleet — is
+      deterministic regardless of thread interleaving.
+
+    Delivery lands in the destination network's :meth:`Network._ingress`
+    path on the destination shard's simulator, in mailbox-drain order:
+    the final gateway→destination leg is sampled and fault-adjusted
+    *there*, against the destination's live topology, so a destination
+    partitioned from its own gateway loses inbound cross-shard traffic
+    too.
+    """
+
+    def __init__(self, stepper, latency: Optional[LatencyModel] = None) -> None:
+        self.stepper = stepper
+        #: One-way cross-shard hop model; the sampled value is floored at
+        #: ``stepper.lookahead`` (see class docstring).
+        self.latency = latency if latency is not None else cloud_internal_latency()
+        self._networks: List[Network] = []
+        self._shard_of: Dict[int, int] = {}  # id(network) -> shard index
+        self._homes: Dict[Address, tuple] = {}  # dst -> (shard, network)
+        self.messages_routed = 0
+
+    def attach(self, network: Network, shard: int) -> Network:
+        """Register one shard's network and install the transmit hook."""
+        network.router = self
+        self._networks.append(network)
+        self._shard_of[id(network)] = shard
+        self._homes.clear()  # nodes may be added after earlier attaches
+        self.stepper.mark_coupled()
+        return network
+
+    def _locate(self, dst: Address) -> tuple:
+        home = self._homes.get(dst)
+        if home is None:
+            matches = [
+                (self._shard_of[id(network)], network)
+                for network in self._networks
+                if network.has_node(dst)
+            ]
+            if not matches:
+                raise KeyError(f"message to unregistered address {dst}")
+            if len(matches) > 1:
+                raise ValueError(
+                    f"address {dst} registered in {len(matches)} shards; "
+                    "cross-shard destinations must be unique"
+                )
+            home = self._homes[dst] = matches[0]
+        return home
+
+    def transmit(self, src_net: Network, message: Message) -> None:
+        """Route one message from ``src_net`` into its destination shard."""
+        dst_shard, dst_net = self._locate(message.dst)
+        try:
+            delay = self._egress_delay(src_net, message)
+        except RoutingError:
+            src_net.messages_dropped += 1
+            if src_net.metrics is not None:
+                src_net.metrics.counter("net.messages_dropped").inc()
+            sender = src_net._nodes.get(message.src)
+            if sender is not None:
+                sender.on_transmit_failed(message, "no route")
+            return
+        if delay is None:  # lost in flight on a faulted source-side link
+            src_net.messages_dropped += 1
+            if src_net.metrics is not None:
+                src_net.metrics.counter("net.messages_dropped").inc()
+                src_net.metrics.counter("net.messages_lost").inc()
+            return
+        hop = self.latency.sample(src_net.rng, message.size_bytes)
+        delay += max(hop, self.stepper.lookahead)
+        if src_net.metrics is not None:
+            src_net.metrics.histogram("net.delivery_seconds").observe(delay)
+        self.messages_routed += 1
+        self.stepper.post(
+            dst_shard,
+            src_net.sim.now + delay,
+            dst_net._ingress,
+            message,
+            src=self._shard_of[id(src_net)],
+        )
+
+    def _egress_delay(self, src_net: Network, message: Message) -> Optional[float]:
+        """Sampled delay from the sender to its shard gateway.
+
+        Mirrors :meth:`Network.transmit` semantics hop for hop:
+        ``RoutingError`` propagates (connection refused), an active fault
+        plan may inflate per-hop delay or drop the message (``None``).
+        """
+        gateway = src_net.gateway
+        if gateway is None or message.src == gateway:
+            return 0.0
+        path = src_net.route(message.src, gateway)
+        faults = src_net.faults
+        total = 0.0
+        for link in path:
+            delay = link.sample_delay(src_net.rng, message.size_bytes)
+            if faults is not None:
+                delay, dropped = faults.adjust(link, delay)
+                if dropped:
+                    return None
+            total += delay
+        return total

@@ -20,13 +20,17 @@ Example
 """
 
 from repro.simcore.event import Event
-from repro.simcore.simulator import Simulator, SimulationError
+from repro.simcore.simulator import RunResult, Simulator, SimulationError
+from repro.simcore.parallel import DEFAULT_LOOKAHEAD, ShardedSimulator
 from repro.simcore.process import Process, Timeout, Signal, Interrupt
 from repro.simcore.rng import Rng
 from repro.simcore.trace import Trace, TraceRecord
 
 __all__ = [
+    "DEFAULT_LOOKAHEAD",
     "Event",
+    "RunResult",
+    "ShardedSimulator",
     "Simulator",
     "SimulationError",
     "Process",

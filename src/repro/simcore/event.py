@@ -29,7 +29,9 @@ class Event:
         Optional human-readable tag used by traces and ``repr``.
     """
 
-    __slots__ = ("time", "callback", "args", "priority", "seq", "label", "_canceled")
+    __slots__ = (
+        "time", "callback", "args", "priority", "seq", "label", "_canceled", "_owner"
+    )
 
     def __init__(
         self,
@@ -38,6 +40,7 @@ class Event:
         args: Tuple[Any, ...] = (),
         priority: int = 0,
         label: Optional[str] = None,
+        seq: Optional[int] = None,
     ) -> None:
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
@@ -45,9 +48,13 @@ class Event:
         self.callback = callback
         self.args = args
         self.priority = priority
-        self.seq = next(_seq_counter)
+        self.seq = next(_seq_counter) if seq is None else seq
         self.label = label
         self._canceled = False
+        #: The owning simulator's live-event ledger (set by
+        #: ``Simulator.schedule_at``); lets :meth:`cancel` keep the O(1)
+        #: ``Simulator.pending`` counter exact without a heap scan.
+        self._owner = None
 
     @property
     def canceled(self) -> bool:
@@ -58,9 +65,17 @@ class Event:
         """Prevent the event from firing.
 
         Canceling is idempotent.  A canceled event stays in the heap but is
-        skipped by the simulator when popped.
+        skipped by the simulator when popped; the owning simulator's live
+        counter is decremented here, exactly once, so ``Simulator.pending``
+        stays O(1).
         """
+        if self._canceled:
+            return
         self._canceled = True
+        owner = self._owner
+        if owner is not None:
+            self._owner = None
+            owner._live -= 1
 
     def fire(self) -> None:
         """Invoke the callback unless the event was canceled."""

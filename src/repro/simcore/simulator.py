@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import heapq
+import itertools
 import time as _wall  # "time" is a parameter name in run_until
 from typing import Any, Callable, List, Optional
 
@@ -11,6 +12,23 @@ from repro.simcore.event import Event
 
 class SimulationError(RuntimeError):
     """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+
+
+class RunResult(int):
+    """The event count a :meth:`Simulator.run_until` call fired, plus state.
+
+    Behaves exactly like the plain ``int`` the method used to return, so
+    existing callers keep working; ``completed`` additionally reports
+    whether the horizon was actually drained (``False`` when the run broke
+    on ``max_events`` or :meth:`Simulator.stop` with live events still
+    pending at ``t <= time``) — the signal callers need to resume instead
+    of trusting a clock that must not have advanced.
+    """
+
+    def __new__(cls, fired: int, completed: bool) -> "RunResult":
+        self = super().__new__(cls, fired)
+        self.completed = completed
+        return self
 
 
 class Simulator:
@@ -38,6 +56,12 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._fired_count = 0
+        self._live = 0  # scheduled, not yet fired, not canceled
+        # Per-simulator event sequence: same-instant FIFO order needs only
+        # per-heap monotonicity, and independent counters keep concurrently
+        # stepped shard simulators (repro.simcore.parallel) free of any
+        # shared mutable state.
+        self._seq = itertools.count()
         #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
         #: every run reports events fired, simulated time, and the
         #: wall-clock event rate.  Attached post-construction so the
@@ -51,8 +75,22 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (possibly canceled) events still in the heap."""
-        return sum(1 for ev in self._heap if not ev.canceled)
+        """Number of live (non-canceled) events still scheduled.
+
+        O(1): a counter maintained on schedule/fire/cancel, not a heap
+        scan — reporting loops may poll it freely at million-entry heaps
+        (``tests/test_simcore_simulator.py`` pins equality with the scan).
+        """
+        return self._live
+
+    def peek_time(self) -> Optional[float]:
+        """Absolute time of the next live event, or ``None`` when drained.
+
+        The epoch hook :class:`repro.simcore.parallel.ShardedSimulator`
+        uses to pick conservative barrier times.
+        """
+        event = self._peek()
+        return None if event is None else event.time
 
     @property
     def fired_count(self) -> int:
@@ -86,8 +124,12 @@ class Simulator:
         """Schedule ``callback(*args)`` at the absolute simulation time ``time``."""
         if time < self._now:
             raise SimulationError(f"cannot schedule at t={time} < now={self._now}")
-        event = Event(time, callback, args, priority=priority, label=label)
+        event = Event(
+            time, callback, args, priority=priority, label=label, seq=next(self._seq)
+        )
+        event._owner = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def step(self) -> bool:
@@ -105,6 +147,10 @@ class Simulator:
                 raise SimulationError("event heap corrupted: time went backwards")
             self._now = event.time
             self._fired_count += 1
+            self._live -= 1
+            # Detach before firing: a late cancel() on an already-fired
+            # event must not decrement the live counter again.
+            event._owner = None
             event.fire()
             return True
         return False
@@ -133,10 +179,16 @@ class Simulator:
             self._report_run(fired, _wall.perf_counter() - started)
         return fired
 
-    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+    def run_until(self, time: float, max_events: Optional[int] = None) -> RunResult:
         """Run events with ``event.time <= time``; then advance the clock to ``time``.
 
-        Returns the number of events fired.
+        Returns a :class:`RunResult` — the number of events fired, plus a
+        ``completed`` flag.  The clock only advances to ``time`` when the
+        horizon was actually drained: a run that broke on ``max_events``
+        (or :meth:`stop`) with live events still pending at ``t <= time``
+        leaves ``now`` at the last fired event, so a follow-up
+        :meth:`step`/:meth:`run_until` resumes instead of raising
+        ``SimulationError("event heap corrupted: time went backwards")``.
         """
         if time < self._now:
             raise SimulationError(f"cannot run until t={time} < now={self._now}")
@@ -156,9 +208,11 @@ class Simulator:
         finally:
             self._running = False
             self._report_run(fired, _wall.perf_counter() - started)
-        if not self._stopped:
+        remaining = self._peek()
+        completed = not self._stopped and (remaining is None or remaining.time > time)
+        if completed:
             self._now = max(self._now, time)
-        return fired
+        return RunResult(fired, completed)
 
     def stop(self) -> None:
         """Stop the current :meth:`run`/:meth:`run_until` after the active event."""

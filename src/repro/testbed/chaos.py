@@ -71,10 +71,15 @@ from repro.engine.push import DELIVERY_MODES, PushDeliveryPolicy, PushPolicy
 from repro.engine.poller import FixedPollingPolicy
 from repro.engine.replay import ReplayController
 from repro.engine.resilience import ReplayPolicy
-from repro.engine.sharding import ShardedEngine, merged_fleet_snapshot
+from repro.engine.sharding import (
+    ShardedEngine,
+    merged_fleet_snapshot,
+    stable_service_hash,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     FaultPlan,
+    FaultPlanError,
     link_down,
     service_brownout,
     service_flap,
@@ -83,10 +88,15 @@ from repro.faults.plan import (
 from repro.iot.gateway import GatewayRouter
 from repro.net.address import Address
 from repro.net.latency import cloud_internal_latency
-from repro.net.network import Network
-from repro.obs.metrics import MetricsRegistry, deterministic_snapshot
+from repro.net.network import CrossShardRouter, Network
+from repro.obs.metrics import (
+    MetricsRegistry,
+    deterministic_snapshot,
+    merge_snapshots,
+)
 from repro.services.endpoints import ActionEndpoint, TriggerEndpoint
 from repro.services.partner import PartnerService
+from repro.simcore.parallel import DEFAULT_LOOKAHEAD, ShardedSimulator
 from repro.simcore.rng import Rng
 from repro.simcore.simulator import Simulator
 from repro.simcore.trace import Trace
@@ -813,6 +823,14 @@ class ShardedChaosResult:
     #: adaptive policy vs. its wrapped base (victim shard's runtime).
     post_heal_quartiles: Optional[Tuple[float, float, float]] = None
     baseline_quartiles: Optional[Tuple[float, float, float]] = None
+    #: Parallel-stepping readout — left at the defaults by the
+    #: single-simulator :class:`ShardedChaosWorld`; populated by
+    #: :class:`ParallelShardedChaosWorld` (``jobs=1`` is its serial
+    #: stepping mode, byte-identical to ``jobs>1`` by construction).
+    jobs: int = 1
+    epochs: int = 0
+    mailbox_messages: int = 0
+    cross_shard_messages: int = 0
 
     @property
     def post_heal_quartile_drift(self) -> float:
@@ -1103,6 +1121,335 @@ class ShardedChaosWorld:
         )
 
 
+class ParallelShardedChaosWorld:
+    """The sharded chaos topology on per-shard simulators, epoch-stepped.
+
+    Same experiment as :class:`ShardedChaosWorld` — ``pairs`` sensor/sink
+    chains through a :class:`~repro.engine.sharding.ShardedEngine`, pair
+    0 the victim — but every shard is a self-contained *cell*: its own
+    :class:`~repro.simcore.simulator.Simulator`, :class:`Network`, core
+    router, metrics registry, and fault injector.  Sensors and sinks are
+    homed on the cell ``stable_service_hash(slug) % num_shards`` (a
+    strategy-independent placement), so any shard whose applets trigger
+    on a remote cell's sensor polls it *across* cells: that traffic goes
+    through the :class:`~repro.net.network.CrossShardRouter` and the
+    stepper's epoch-barriered mailboxes — realtime hints and push
+    notifications cross the same way.
+
+    ``jobs=1`` steps the cells round-robin in the calling thread;
+    ``jobs>1`` steps them concurrently.  The per-cell execution is
+    identical either way, and cross-cell messages drain in the sorted
+    ``(deliver_at, src, seq)`` mailbox order, so the two modes produce
+    **byte-identical** deterministic snapshots — ``make parallel-check``
+    gates exactly that.
+
+    (``__test__`` opts the class out of pytest collection.)
+    """
+
+    __test__ = False
+
+    def __init__(
+        self,
+        seed: int = 7,
+        poll_interval: float = 5.0,
+        num_shards: int = 4,
+        shard_strategy: str = "service_hash",
+        pairs: int = SHARDED_PAIRS,
+        engine_config: Optional[EngineConfig] = None,
+        replay: Optional[ReplayPolicy] = None,
+        delivery: Optional[DeliveryPolicy] = None,
+        delivery_mode: str = "poll",
+        jobs: int = 1,
+        lookahead: float = DEFAULT_LOOKAHEAD,
+    ) -> None:
+        self.seed = seed
+        self.delivery_mode = delivery_mode
+        self.pairs = pairs
+        self.stepper = ShardedSimulator(num_shards, lookahead=lookahead, jobs=jobs)
+        self.rng = Rng(seed=seed, name="chaos")
+        # One cell per shard: registry, network, core.  Each cell is
+        # touched by exactly one worker thread inside an epoch; the
+        # shared Trace is omitted on purpose (it would be a cross-thread
+        # mutation point and none of the sharded accounting reads it).
+        self.registries: List[MetricsRegistry] = []
+        self.networks: List[Network] = []
+        for index in range(num_shards):
+            registry = MetricsRegistry()
+            sim = self.stepper.sims[index]
+            sim.metrics = registry
+            self.registries.append(registry)
+            self.networks.append(
+                Network(sim, self.rng.fork(f"network{index}"), metrics=registry)
+            )
+        self.router = CrossShardRouter(self.stepper)
+        config = engine_config or EngineConfig(
+            poll_policy=FixedPollingPolicy(poll_interval),
+            initial_poll_delay=0.5,
+            poll_timeout=10.0,
+            action_timeout=10.0,
+        )
+        config = replace(
+            config,
+            poll_policy=config.poll_policy.clone(),
+            num_shards=num_shards,
+            shard_strategy=shard_strategy,
+            replay_policy=replay if replay is not None else config.replay_policy,
+            delivery_policy=delivery if delivery is not None else config.delivery_policy,
+        )
+        config = _apply_delivery_mode(config, delivery_mode)
+        self.fleet = ShardedEngine(
+            self.networks,
+            config=config,
+            rng=self.rng.fork("engine"),
+            host_pattern=SHARD_HOST_PATTERN,
+            service_time=0.0,
+        )
+        self.cores = []
+        for index, network in enumerate(self.networks):
+            core = network.add_node(GatewayRouter(Address(CORE_HOST)))
+            network.connect(
+                self.fleet.shards[index].address, core.address,
+                cloud_internal_latency(),
+            )
+            # Cross-cell sends exit through the cell's core: a shard
+            # partitioned from it is connection-refused on remote polls
+            # too, and inbound cross-cell traffic is dropped mid-path.
+            network.gateway = core.address
+            self.router.attach(network, index)
+            self.cores.append(core)
+
+        #: Per-cell ``(delivered_at, pair, fields)`` sink executions —
+        #: appended only by the owning cell's thread.
+        self._delivered: List[List[Tuple[float, int, Dict[str, Any]]]] = [
+            [] for _ in range(num_shards)
+        ]
+        self._events_injected = [0] * num_shards
+        self.sensors: List[PartnerService] = []
+        self.sinks: List[PartnerService] = []
+        #: pair -> home cell, and cell -> {slug: service} for plan splits.
+        self._pair_home: List[int] = []
+        self._cell_services: List[Dict[str, PartnerService]] = [
+            {} for _ in range(num_shards)
+        ]
+        for pair in range(pairs):
+            # Sensor and sink are homed *independently* by their own slug
+            # hashes.  Under ``service_hash`` the applet's shard equals
+            # the sensor's home (polls stay cell-local — the affinity the
+            # strategy exists for) while its sink usually hashes
+            # elsewhere, so action dispatches genuinely cross cells; under
+            # ``round_robin`` polls cross too.
+            sensor_cell = stable_service_hash(f"{SENSOR_SLUG}{pair}") % num_shards
+            sink_cell = stable_service_hash(f"{SINK_SLUG}{pair}") % num_shards
+            self._pair_home.append(sensor_cell)
+            sensor = self.networks[sensor_cell].add_node(PartnerService(
+                Address(f"sensor{pair}.cloud"), slug=f"{SENSOR_SLUG}{pair}",
+                service_time=0.0,
+                realtime=delivery_mode == "hint", push=delivery_mode == "push",
+            ))
+            sensor.add_trigger(TriggerEndpoint(slug="tick", name="Tick"))
+            sink = self.networks[sink_cell].add_node(PartnerService(
+                Address(f"sink{pair}.cloud"), slug=f"{SINK_SLUG}{pair}",
+                service_time=0.0,
+            ))
+            sink.add_action(ActionEndpoint(
+                slug="deliver", name="Deliver",
+                executor=self._sink_recorder(sink_cell, pair),
+            ))
+            for cell, node in ((sensor_cell, sensor), (sink_cell, sink)):
+                self.networks[cell].connect(
+                    node.address, self.cores[cell].address,
+                    cloud_internal_latency(),
+                )
+            self._cell_services[sensor_cell][sensor.slug] = sensor
+            self._cell_services[sink_cell][sink.slug] = sink
+            self.sensors.append(sensor)
+            self.sinks.append(sink)
+        for service in self.sensors + self.sinks:
+            self.fleet.publish_service(service)
+            authority = OAuthAuthority(service.slug)
+            authority.register_user(CHAOS_USER, "pw")
+            self.fleet.connect_service(CHAOS_USER, service, authority, "pw")
+        self.applets = [
+            self.fleet.install_applet(
+                user=CHAOS_USER, name=f"tick{pair}->deliver{pair}",
+                trigger=TriggerRef(f"{SENSOR_SLUG}{pair}", "tick"),
+                action=ActionRef(f"{SINK_SLUG}{pair}", "deliver",
+                                 {"n": "{{n}}", "injected_at": "{{injected_at}}"}),
+            )
+            for pair in range(pairs)
+        ]
+        self.victim_shard = self.fleet.shard_of(self.applets[0].applet_id)
+        # One injector and one fault-window watcher per cell, each armed
+        # only with that cell's slice of a (retargeted) plan.
+        self.injectors = [
+            FaultInjector(
+                self.stepper.sims[index], self.networks[index],
+                services=tuple(self._cell_services[index].values()),
+                rng=self.rng.fork(f"faults{index}"),
+                metrics=self.registries[index],
+            )
+            for index in range(num_shards)
+        ]
+        self.watchers = [
+            _FaultWindowWatcher(self.stepper.sims[index], self._cell_services[index])
+            for index in range(num_shards)
+        ]
+
+    def _sink_recorder(self, cell: int, pair: int):
+        sim = self.stepper.sims[cell]
+        delivered = self._delivered[cell]
+
+        def record(fields: Dict[str, Any]) -> None:
+            delivered.append((sim.now, pair, dict(fields)))
+
+        return record
+
+    def retarget(self, plan: FaultPlan) -> FaultPlan:
+        """An unsharded plan, aimed at the victim pair and shard."""
+        return retarget_plan_for_shards(
+            plan,
+            sensor_slug=f"{SENSOR_SLUG}0",
+            sink_slug=f"{SINK_SLUG}0",
+            engine_host=SHARD_HOST_PATTERN.format(shard=self.victim_shard),
+        )
+
+    def _owning_cell(self, spec) -> int:
+        """Which cell a fault spec belongs to (service home or link home)."""
+        if spec.service:
+            for cell, services in enumerate(self._cell_services):
+                if spec.service in services:
+                    return cell
+            raise FaultPlanError(
+                f"{spec.kind}: unknown service {spec.service!r} in this world"
+            )
+        a, b = Address(spec.a), Address(spec.b)
+        for cell, network in enumerate(self.networks):
+            if network.link_between(a, b) is not None:
+                return cell
+        raise FaultPlanError(
+            f"{spec.kind}: no cell has a link between {spec.a} and {spec.b}"
+        )
+
+    def _split_plan(self, plan: FaultPlan) -> List[FaultPlan]:
+        """One sub-plan per cell, in the owning cell's vocabulary."""
+        per_cell: List[List[Any]] = [[] for _ in range(self.stepper.num_shards)]
+        for spec in plan:
+            per_cell[self._owning_cell(spec)].append(spec)
+        return [FaultPlan(tuple(specs)) for specs in per_cell]
+
+    def schedule_events(self, times: Tuple[float, ...]) -> None:
+        """Schedule each event cadence entry into every pair's home cell."""
+        for index, at in enumerate(times):
+            for pair in range(self.pairs):
+                cell = self._pair_home[pair]
+                sim = self.stepper.sims[cell]
+                sim.schedule(
+                    max(0.0, at - sim.now), self._inject, cell, pair, index, at,
+                    label=f"chaos-event#{index}.{pair}",
+                )
+
+    def _inject(self, cell: int, pair: int, index: int, planned_at: float) -> None:
+        self._events_injected[cell] += 1
+        self.sensors[pair].ingest_event("tick", {"n": index, "injected_at": planned_at})
+
+    @property
+    def events_injected(self) -> int:
+        """Fleet-wide injected-event count (read at barriers)."""
+        return sum(self._events_injected)
+
+    def run(self, scenario: ChaosScenario, drain: float = DRAIN_SECONDS) -> ShardedChaosResult:
+        """Retarget the plan at the victim, drive events, settle, account."""
+        plan = self.retarget(scenario.plan)
+        for cell, subplan in enumerate(self._split_plan(plan)):
+            if subplan.specs:
+                self.injectors[cell].apply(subplan)
+                self.watchers[cell].watch(subplan)
+        self.schedule_events(scenario.event_times)
+        until = scenario.horizon + drain
+        self.stepper.run_until(until)
+        self.stepper.shutdown()
+        return self._result(scenario, plan, until)
+
+    def _result(
+        self, scenario: ChaosScenario, plan: FaultPlan, until: float
+    ) -> ShardedChaosResult:
+        t2a_by_shard: Dict[int, Dict[str, List[float]]] = {}
+        delivered = sorted(
+            (record for cell in self._delivered for record in cell),
+            key=lambda record: (record[0], record[1]),
+        )
+        for delivered_at, pair, fields in delivered:
+            injected_at = float(fields["injected_at"])
+            shard = self.fleet.shard_of(self.applets[pair].applet_id)
+            phase = _phase_of(plan, injected_at)
+            t2a_by_shard.setdefault(shard, {}).setdefault(phase, []).append(
+                delivered_at - injected_at
+            )
+        transitions_by_shard: Dict[int, List[Tuple[float, str, str, str]]] = {}
+        for index, shard in enumerate(self.fleet.shards):
+            transitions = sorted(
+                (at, slug, old.value, new.value)
+                for slug, breaker in shard._breakers.items()
+                for at, old, new in breaker.transitions
+            )
+            if transitions:
+                transitions_by_shard[index] = transitions
+        events_observed = sum(
+            int(self.registries[index].total(
+                f"{shard.metrics_namespace}.events_observed"
+            ))
+            for index, shard in enumerate(self.fleet.shards)
+        )
+        fleet_stats = self.fleet.stats()
+        # The cell registries merge commutatively (counters add, gauges
+        # max), so the combined snapshot is independent of both cell
+        # order and stepping mode — the byte-identity `make
+        # parallel-check` pins.
+        combined = merge_snapshots(
+            *(registry.snapshot() for registry in self.registries)
+        )
+        snapshot = deterministic_snapshot(combined)
+        merged = merged_fleet_snapshot(combined)
+        victim_engine = self.fleet.shards[self.victim_shard]
+        extras = _delivery_extras(
+            list(self.fleet.shards),
+            probe_policy=victim_engine._applets[self.applets[0].applet_id].policy,
+        )
+        fault_window: Dict[str, int] = {}
+        for watcher in self.watchers:
+            fault_window.update(watcher.requests)
+        return ShardedChaosResult(
+            scenario=scenario.name,
+            seed=self.seed,
+            num_shards=self.fleet.num_shards,
+            strategy=self.fleet.strategy,
+            victim_shard=self.victim_shard,
+            ran_until=until,
+            events_injected=self.events_injected,
+            events_observed=events_observed,
+            fleet_stats=fleet_stats,
+            shard_stats=self.fleet.shard_stats(),
+            t2a_by_shard=t2a_by_shard,
+            breaker_transitions_by_shard=transitions_by_shard,
+            faults_activated=sum(i.activations for i in self.injectors),
+            faults_deactivated=sum(i.deactivations for i in self.injectors),
+            assignments=self.fleet.assignments(),
+            shard_loads=self.fleet.shard_loads(),
+            snapshot=snapshot,
+            merged_engine_snapshot=merged,
+            replay=_replay_report(
+                [shard.replay for shard in self.fleet.shards], until,
+                fleet_stats["polls_sent"] + fleet_stats["actions_dispatched"],
+            ),
+            fault_window_requests=fault_window,
+            jobs=self.stepper.jobs,
+            epochs=self.stepper.epochs,
+            mailbox_messages=self.stepper.mailbox_messages,
+            cross_shard_messages=self.router.messages_routed,
+            **extras,
+        )
+
+
 def run_sharded_chaos_scenario(
     name: str,
     seed: int = 7,
@@ -1115,6 +1462,8 @@ def run_sharded_chaos_scenario(
     replay: Optional[ReplayPolicy] = None,
     delivery: Optional[DeliveryPolicy] = None,
     delivery_mode: str = "poll",
+    parallel: bool = False,
+    jobs: int = 1,
 ) -> ShardedChaosResult:
     """Run one chaos scenario against a sharded fleet.
 
@@ -1128,7 +1477,10 @@ def run_sharded_chaos_scenario(
     ``delivery_mode`` selects poll/hint/push event delivery for every
     sensor, exactly as in :func:`run_chaos_scenario`; pushes route to
     each service's last-published shard (the home shard under
-    ``service_hash``).
+    ``service_hash``).  ``parallel=True`` runs the epoch-stepped
+    :class:`ParallelShardedChaosWorld` instead of the single-simulator
+    world, stepping shards with ``jobs`` worker threads (``jobs=1`` is
+    its serial mode — byte-identical snapshots either way).
     """
     scenario = chaos_scenario(name)
     if plan is not None:
@@ -1138,9 +1490,17 @@ def run_sharded_chaos_scenario(
             event_times=scenario.event_times,
             plan=plan,
         )
-    world = ShardedChaosWorld(
-        seed=seed, poll_interval=poll_interval,
-        num_shards=num_shards, shard_strategy=shard_strategy, pairs=pairs,
-        replay=replay, delivery=delivery, delivery_mode=delivery_mode,
-    )
+    if parallel:
+        world = ParallelShardedChaosWorld(
+            seed=seed, poll_interval=poll_interval,
+            num_shards=num_shards, shard_strategy=shard_strategy, pairs=pairs,
+            replay=replay, delivery=delivery, delivery_mode=delivery_mode,
+            jobs=jobs,
+        )
+    else:
+        world = ShardedChaosWorld(
+            seed=seed, poll_interval=poll_interval,
+            num_shards=num_shards, shard_strategy=shard_strategy, pairs=pairs,
+            replay=replay, delivery=delivery, delivery_mode=delivery_mode,
+        )
     return world.run(scenario, drain=drain)

@@ -24,12 +24,14 @@ from repro.engine.config import EngineConfig
 from repro.engine.engine import IftttEngine
 from repro.engine.push import DELIVERY_MODES, PushPolicy
 from repro.engine.oauth import OAuthAuthority
+from repro.engine.sharding import ShardedEngine, merged_fleet_snapshot
 from repro.net.address import Address
 from repro.net.latency import cloud_internal_latency
 from repro.net.network import Network
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
 from repro.services.endpoints import ActionEndpoint, TriggerEndpoint
 from repro.services.partner import PartnerService
+from repro.simcore.parallel import DEFAULT_LOOKAHEAD, ShardedSimulator
 from repro.simcore.rng import Rng
 from repro.simcore.simulator import Simulator
 from repro.simcore.trace import Trace
@@ -223,6 +225,203 @@ class FleetWorld:
             ),
             polls_sent=self.engine.stats()["polls_sent"],
         )
+
+
+@dataclass
+class ShardedFleetResult:
+    """Outcome of one epoch-stepped sharded fleet experiment."""
+
+    n_applets: int
+    num_shards: int
+    jobs: int
+    publications: int
+    actions_executed: int
+    polls_sent: int
+    #: Barrier count and cross-shard mailbox traffic from the stepper.
+    epochs: int
+    mailbox_messages: int
+    events_fired: int
+    #: ``merged_fleet_snapshot`` over the per-shard registries (None when
+    #: the world was built with ``with_metrics=False``).
+    metrics_snapshot: Optional[Dict] = None
+
+
+class ShardedFleetWorld:
+    """The NASA-wallpaper fleet partitioned across N epoch-stepped shards.
+
+    The single-simulator :class:`FleetWorld` serializes every shard
+    through one heap; this world gives each shard its own
+    :class:`~repro.simcore.simulator.Simulator`, :class:`Network`,
+    metrics registry, and content-service *replica*, stepped together by
+    a :class:`~repro.simcore.parallel.ShardedSimulator` (``jobs=1`` =
+    serial round-robin epochs, ``jobs>1`` = one thread per shard; the
+    per-shard code path is identical, so the two produce byte-identical
+    merged snapshots).  Publications are fleet-level events: they enter
+    through the stepper's controller mailbox, one ingest per replica, at
+    an epoch barrier.
+
+    Shard engines poll only their own shard's replica (each shard
+    publishes its local replica under the shared ``content`` slug), so
+    the steady state is embarrassingly parallel — the shape that
+    motivates parallel stepping in the first place.
+    """
+
+    def __init__(
+        self,
+        n_applets: int,
+        num_shards: int = 4,
+        jobs: int = 1,
+        engine_config: Optional[EngineConfig] = None,
+        seed: int = 5,
+        with_metrics: bool = True,
+        shard_strategy: str = "round_robin",
+        lookahead: float = DEFAULT_LOOKAHEAD,
+        warmup: bool = True,
+    ) -> None:
+        self.n_applets = n_applets
+        self.num_shards = num_shards
+        self.stepper = ShardedSimulator(num_shards, lookahead=lookahead, jobs=jobs)
+        self.rng = Rng(seed=seed, name="fleet")
+        # One world per shard: registry, network, content replica.  Each
+        # is touched by exactly one worker thread inside an epoch.
+        self.registries: List[Optional[MetricsRegistry]] = []
+        self.networks: List[Network] = []
+        for index in range(num_shards):
+            registry = MetricsRegistry() if with_metrics else None
+            sim = self.stepper.sims[index]
+            sim.metrics = registry
+            self.registries.append(registry)
+            self.networks.append(
+                Network(sim, self.rng.fork(f"net{index}"), metrics=registry)
+            )
+        self.fleet = ShardedEngine(
+            self.networks,
+            config=engine_config or EngineConfig(),
+            rng=self.rng.fork("engine"),
+            num_shards=num_shards,
+            shard_strategy=shard_strategy,
+            service_time=0.0,
+            expected_applets=n_applets,
+        )
+        # Per-shard action counters: each slot is written only by its
+        # shard's thread, so fleet totals need no lock.
+        self._actions = [0] * num_shards
+        self.contents: List[PartnerService] = []
+        for index in range(num_shards):
+            replica = self.networks[index].add_node(PartnerService(
+                Address(f"content{index}.cloud"), slug="content",
+                service_time=0.0,
+            ))
+            replica.add_trigger(TriggerEndpoint(
+                slug="new_photo",
+                name="New photo published",
+                ingredients=lambda event: {"photo": event.get("photo", "")},
+            ))
+            replica.add_action(ActionEndpoint(
+                slug="set_wallpaper",
+                name="Update wallpaper",
+                executor=self._recorder(index),
+            ))
+            shard = self.fleet.shards[index]
+            self.networks[index].connect(
+                shard.address, replica.address, cloud_internal_latency()
+            )
+            # Publish the *local* replica on the shard engine directly:
+            # the fleet-level publish_service expects one service node
+            # reachable from every shard, which a split-simulator world
+            # deliberately doesn't have.
+            shard.publish_service(replica)
+            self.contents.append(replica)
+        authority = OAuthAuthority("content")
+        authority.register_user("fleet-user", "pw")
+        for index, shard in enumerate(self.fleet.shards):
+            shard.connect_service(
+                "fleet-user", self.contents[index], authority, "pw"
+            )
+        trigger = TriggerRef("content", "new_photo")
+        action = ActionRef("content", "set_wallpaper", {"photo": "{{photo}}"})
+        for index in range(n_applets):
+            self.fleet.install_applet(
+                user="fleet-user",
+                name=f"wallpaper applet #{index}",
+                trigger=trigger,
+                action=action,
+            )
+        if warmup:
+            # Let registration polls drain so the first publication isn't
+            # swallowed as pre-baseline history (mirrors FleetWorld;
+            # benchmarks pass warmup=False to time the initial burst).
+            config = self.fleet.config
+            self.stepper.run_until(
+                config.initial_poll_delay + config.initial_poll_jitter + 5.0
+            )
+
+    def _recorder(self, shard: int):
+        def record(fields: Dict) -> None:
+            self._actions[shard] += 1
+        return record
+
+    @property
+    def actions_executed(self) -> int:
+        """Fleet-wide executed-action count (read at barriers)."""
+        return sum(self._actions)
+
+    def publish(self, photo: str) -> None:
+        """One fleet-level publication: every replica ingests the event.
+
+        Routed through the stepper's controller mailbox so it lands in
+        each shard's heap in deterministic order at the next barrier.
+        """
+        now = self.stepper.now
+        for index, replica in enumerate(self.contents):
+            self.stepper.post(
+                index, now, replica.ingest_event, "new_photo", {"photo": photo}
+            )
+
+    def run_until(self, time: float) -> int:
+        """Advance the whole fleet to ``time`` through epoch barriers."""
+        return self.stepper.run_until(time)
+
+    def run_publications(
+        self, publications: int = 5, spacing: float = 900.0
+    ) -> ShardedFleetResult:
+        """Publish ``publications`` times and collect fleet statistics."""
+        for index in range(publications):
+            self.publish(f"photo-{index}")
+            self.stepper.run_until(self.stepper.now + spacing)
+        return self.result(publications=publications)
+
+    def merged_snapshot(self) -> Optional[Dict]:
+        """Fleet-wide ``engine.*`` totals folded from every shard registry.
+
+        Commutative (counters add, gauges max), so the serial and
+        parallel stepping modes must produce byte-identical results —
+        ``make parallel-check`` gates exactly that.
+        """
+        if any(registry is None for registry in self.registries):
+            return None
+        combined = merge_snapshots(
+            *(registry.snapshot() for registry in self.registries)
+        )
+        return merged_fleet_snapshot(combined)
+
+    def result(self, publications: int = 0) -> ShardedFleetResult:
+        return ShardedFleetResult(
+            n_applets=self.n_applets,
+            num_shards=self.num_shards,
+            jobs=self.stepper.jobs,
+            publications=publications,
+            actions_executed=self.actions_executed,
+            polls_sent=self.fleet.stats()["polls_sent"],
+            epochs=self.stepper.epochs,
+            mailbox_messages=self.stepper.mailbox_messages,
+            events_fired=self.stepper.fired_count,
+            metrics_snapshot=self.merged_snapshot(),
+        )
+
+    def shutdown(self) -> None:
+        """Tear down the stepper's worker pool (no-op when ``jobs == 1``)."""
+        self.stepper.shutdown()
 
 
 def run_fleet_experiment(
